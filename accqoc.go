@@ -1,0 +1,424 @@
+// Package accqoc implements AccQOC (Cheng, Deng, Qian — ISCA 2020): a
+// static/dynamic hybrid workflow that compiles quantum gate groups to
+// control pulses with quantum optimal control (GRAPE) under a reasonable
+// compilation-time budget.
+//
+// The pipeline:
+//
+//  1. Prepare — decompose Toffolis, map the program onto the device with a
+//     crosstalk-aware A* mapper, lower swaps per the grouping policy, and
+//     divide the physical circuit into gate groups (the 2bNl policies of
+//     the paper's Table I).
+//  2. Profile — static pre-compilation (§IV): train a pulse library for the
+//     deduplicated groups of a profiling set, binary-searching each group's
+//     minimal latency, ordered by a similarity MST so each group
+//     warm-starts from its most similar predecessor.
+//  3. Compile — accelerated dynamic compilation (§V): groups covered by the
+//     library cost nothing; uncovered groups are trained in MST order with
+//     warm starts, then Algorithm 3 concatenates group pulses along the
+//     dependency DAG into the program's overall latency, which is compared
+//     against the gate-based compilation baseline.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package accqoc
+
+import (
+	"fmt"
+	"time"
+
+	"accqoc/internal/circuit"
+	"accqoc/internal/cmat"
+	"accqoc/internal/crosstalk"
+	"accqoc/internal/gatepulse"
+	"accqoc/internal/grape"
+	"accqoc/internal/grouping"
+	"accqoc/internal/hamiltonian"
+	"accqoc/internal/latency"
+	"accqoc/internal/mapping"
+	"accqoc/internal/precompile"
+	"accqoc/internal/pulse"
+	"accqoc/internal/simgraph"
+	"accqoc/internal/similarity"
+	"accqoc/internal/topology"
+)
+
+// Options configures a Compiler. The zero value selects the paper's
+// defaults: the IBM Melbourne device, the map2b4l policy (the paper's best,
+// §VI), crosstalk-aware mapping, and the fidelity1 similarity function.
+type Options struct {
+	Device     *topology.Device
+	Policy     grouping.Policy
+	Mapping    mapping.Options
+	Precompile precompile.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.Device == nil {
+		o.Device = topology.Melbourne()
+	}
+	if o.Policy.Name == "" {
+		o.Policy = grouping.Map2b4l
+	}
+	if o.Mapping.CrosstalkWeight == 0 {
+		o.Mapping.CrosstalkAware = true
+	}
+	return o
+}
+
+// Compiler carries the configuration and the (growing) pulse library.
+type Compiler struct {
+	opts Options
+	lib  *precompile.Library
+}
+
+// New returns a Compiler with an empty pulse library.
+func New(opts Options) *Compiler {
+	return &Compiler{opts: opts.withDefaults(), lib: precompile.NewLibrary()}
+}
+
+// Library exposes the current pulse library (for saving, inspection, or
+// seeding another compiler).
+func (c *Compiler) Library() *precompile.Library { return c.lib }
+
+// SetLibrary replaces the pulse library (e.g. one loaded from disk).
+func (c *Compiler) SetLibrary(lib *precompile.Library) { c.lib = lib }
+
+// Options returns the effective configuration.
+func (c *Compiler) Options() Options { return c.opts }
+
+// Prepared is a program after the compilation front end.
+type Prepared struct {
+	// Physical is the mapped, policy-lowered circuit on device qubits.
+	Physical *circuit.Circuit
+	// MapResult carries layouts and swap statistics.
+	MapResult *mapping.Result
+	// Grouping is the policy division of Physical with its group DAG.
+	Grouping *grouping.Grouping
+	// CrosstalkMetric counts close concurrent CX pairs (§VI-C).
+	CrosstalkMetric int
+}
+
+// Prepare runs the front end: Toffoli decomposition, crosstalk-aware
+// mapping, policy swap lowering and gate grouping.
+func (c *Compiler) Prepare(prog *circuit.Circuit) (*Prepared, error) {
+	work := prog.DecomposeCCX()
+	mapped, err := mapping.Map(work, c.opts.Device, c.opts.Mapping)
+	if err != nil {
+		return nil, fmt.Errorf("accqoc: mapping: %w", err)
+	}
+	phys := mapped.Mapped
+	if c.opts.Policy.DecomposeSwap {
+		phys, err = mapping.DecomposeSwaps(phys, c.opts.Device)
+		if err != nil {
+			return nil, fmt.Errorf("accqoc: swap lowering: %w", err)
+		}
+	}
+	gr, err := grouping.Divide(phys, c.opts.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("accqoc: grouping: %w", err)
+	}
+	return &Prepared{
+		Physical:        phys,
+		MapResult:       mapped,
+		Grouping:        gr,
+		CrosstalkMetric: crosstalk.Metric(phys, c.opts.Device),
+	}, nil
+}
+
+// ProfileResult summarizes static pre-compilation.
+type ProfileResult struct {
+	Programs     int
+	UniqueGroups int
+	Stats        *precompile.BuildStats
+}
+
+// Profile runs static pre-compilation (§IV): the programs are prepared
+// with the configured policy, their groups deduplicated into a category,
+// and the category trained into the compiler's library.
+func (c *Compiler) Profile(programs []*circuit.Circuit) (*ProfileResult, error) {
+	var all []*grouping.Group
+	for i, p := range programs {
+		prep, err := c.Prepare(p)
+		if err != nil {
+			return nil, fmt.Errorf("accqoc: profiling program %d: %w", i, err)
+		}
+		all = append(all, prep.Grouping.Groups...)
+	}
+	uniq, err := grouping.Deduplicate(all)
+	if err != nil {
+		return nil, err
+	}
+	cfg := c.opts.Precompile
+	cfg.UseMST = true
+	lib, stats, err := precompile.Build(uniq, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Merge into the live library (later profiles extend earlier ones).
+	for k, e := range lib.Entries {
+		c.lib.Entries[k] = e
+	}
+	return &ProfileResult{Programs: len(programs), UniqueGroups: len(uniq), Stats: stats}, nil
+}
+
+// ProfileParallel is Profile with the §V-D worker pool: the similarity MST
+// of each group-size class is balance-partitioned across the given number
+// of workers and the parts train concurrently.
+func (c *Compiler) ProfileParallel(programs []*circuit.Circuit, workers int) (*ProfileResult, error) {
+	var all []*grouping.Group
+	for i, p := range programs {
+		prep, err := c.Prepare(p)
+		if err != nil {
+			return nil, fmt.Errorf("accqoc: profiling program %d: %w", i, err)
+		}
+		all = append(all, prep.Grouping.Groups...)
+	}
+	uniq, err := grouping.Deduplicate(all)
+	if err != nil {
+		return nil, err
+	}
+	cfg := c.opts.Precompile
+	res, err := precompile.ParallelBuild(uniq, cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	for k, e := range res.Library.Entries {
+		c.lib.Entries[k] = e
+	}
+	return &ProfileResult{Programs: len(programs), UniqueGroups: len(uniq), Stats: res.Stats}, nil
+}
+
+// CompileResult reports one program's accelerated dynamic compilation.
+type CompileResult struct {
+	Prepared
+
+	// Coverage of group occurrences by the pre-compiled library (§V-A).
+	CoverageRate  float64
+	CoveredGroups int
+	TotalGroups   int
+
+	// Dynamic-compilation cost for the uncovered groups.
+	UncoveredUnique    int
+	TrainingIterations int
+	TrainingTime       time.Duration
+
+	// Latency results (Algorithm 3) against the gate-based baseline.
+	OverallLatencyNs   float64
+	GateBasedLatencyNs float64
+	LatencyReduction   float64 // gate-based / QOC
+
+	// EstimatedFidelity folds gate errors, crosstalk inflation and
+	// decoherence over the QOC latency (§II-E accounting).
+	EstimatedFidelity float64
+}
+
+// Compile runs accelerated dynamic compilation on one program: covered
+// groups are free, uncovered groups train in similarity-MST order with
+// warm starts, and the overall latency is assembled with Algorithm 3.
+// Newly trained pulses are added to the library, so later programs
+// benefit.
+func (c *Compiler) Compile(prog *circuit.Circuit) (*CompileResult, error) {
+	prep, err := c.Prepare(prog)
+	if err != nil {
+		return nil, err
+	}
+	res := &CompileResult{Prepared: *prep}
+	gr := prep.Grouping
+
+	// Coverage pass: split occurrences into covered / uncovered.
+	type occ struct {
+		key  string
+		uniq *grouping.UniqueGroup
+	}
+	res.TotalGroups = len(gr.Groups)
+	uncoveredByKey := map[string]*grouping.UniqueGroup{}
+	keys := make([]string, len(gr.Groups))
+	for i, g := range gr.Groups {
+		key, kerr := g.Key()
+		if kerr != nil {
+			return nil, kerr
+		}
+		keys[i] = key
+		if _, ok := c.lib.Entries[key]; ok {
+			res.CoveredGroups++
+			continue
+		}
+		if u, ok := uncoveredByKey[key]; ok {
+			u.Count++
+			continue
+		}
+		uncoveredByKey[key] = &grouping.UniqueGroup{Key: key, Group: g, Count: 1, NumQubits: len(g.Qubits)}
+	}
+	if res.TotalGroups > 0 {
+		res.CoverageRate = float64(res.CoveredGroups) / float64(res.TotalGroups)
+	} else {
+		res.CoverageRate = 1
+	}
+	res.UncoveredUnique = len(uncoveredByKey)
+
+	// Train uncovered groups (§V-B/C): MST order with warm starts, with
+	// library pulses as additional seeds for identity-rooted vertices.
+	start := time.Now()
+	if len(uncoveredByKey) > 0 {
+		uncovered := make([]*grouping.UniqueGroup, 0, len(uncoveredByKey))
+		for _, u := range uncoveredByKey {
+			uncovered = append(uncovered, u)
+		}
+		sortUnique(uncovered)
+		iters, terr := c.trainUncovered(uncovered)
+		if terr != nil {
+			return nil, terr
+		}
+		res.TrainingIterations = iters
+	}
+	res.TrainingTime = time.Since(start)
+
+	// Latency assembly (Algorithm 3) over per-occurrence latencies.
+	overall, err := latency.OverallGroups(gr, func(i int) (float64, error) {
+		e, ok := c.lib.Entries[keys[i]]
+		if !ok {
+			// The group failed to train within budget: fall back to the
+			// gate-based latency of its member gates so the program still
+			// compiles end to end.
+			var sum float64
+			for _, g := range gr.Groups[i].Gates {
+				sum += gatepulse.GateLatency(g.Name, c.opts.Device.Calibration)
+			}
+			return sum, nil
+		}
+		return e.LatencyNs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.OverallLatencyNs = overall
+	res.GateBasedLatencyNs = gatepulse.Overall(prep.Physical, c.opts.Device.Calibration)
+	if overall > 0 {
+		res.LatencyReduction = res.GateBasedLatencyNs / overall
+	}
+	res.EstimatedFidelity = crosstalk.ProgramFidelity(prep.Physical, c.opts.Device, overall)
+	return res, nil
+}
+
+// trainUncovered compiles the uncovered unique groups per size class in
+// similarity-MST order and installs the results into the library. It
+// returns the summed GRAPE iterations.
+func (c *Compiler) trainUncovered(uncovered []*grouping.UniqueGroup) (int, error) {
+	cfg := c.opts.Precompile
+	fn := cfg.Similarity
+	if fn == "" {
+		fn = similarity.TraceFid
+	}
+	bySize := map[int][]*grouping.UniqueGroup{}
+	for _, u := range uncovered {
+		bySize[u.NumQubits] = append(bySize[u.NumQubits], u)
+	}
+	totalIters := 0
+	for _, size := range sortedSizes(bySize) {
+		class := bySize[size]
+		sys, err := hamiltonian.ForQubits(size, cfg.Ham)
+		if err != nil {
+			return totalIters, err
+		}
+		us := make([]*cmat.Matrix, len(class))
+		for i, g := range class {
+			u, uerr := g.Group.Unitary()
+			if uerr != nil {
+				return totalIters, uerr
+			}
+			us[i] = canonicalUnitary(u)
+		}
+		var steps []simgraph.Step
+		if len(class) > 1 {
+			sg, serr := simgraph.Build(us, fn)
+			if serr != nil {
+				return totalIters, serr
+			}
+			mst, merr := sg.PrimMST(0)
+			if merr != nil {
+				return totalIters, merr
+			}
+			steps = mst.CompilationSequence()
+		} else {
+			steps = simgraph.ColdSequence(len(class))
+		}
+
+		gopts := cfg.Grape
+		if gopts.TargetInfidelity == 0 {
+			gopts.TargetInfidelity = 1e-3
+		}
+		if gopts.MaxIterations == 0 {
+			gopts.MaxIterations = 600
+		}
+		gopts.Segments = precompile.SegmentsFor(size)
+		sopts := searchFor(cfg, size)
+
+		trained := make([]*pulse.Pulse, len(class))
+		durations := make([]float64, len(class))
+		warmTol := similarity.WarmThreshold(fn, sys.Dim)
+		for _, step := range steps {
+			var seed *pulse.Pulse
+			stepSopts := sopts
+			if step.WarmFrom >= 0 && trained[step.WarmFrom] != nil {
+				stepSopts.HintDuration = durations[step.WarmFrom]
+				if step.Distance <= warmTol {
+					seed = trained[step.WarmFrom]
+				}
+			} else {
+				// Identity-rooted: seed from the closest covered library
+				// pulse when one is similar enough (§V-C). Its latency
+				// doubles as the binary-search bracket hint.
+				var hint float64
+				seed, hint = c.librarySeed(us[step.Group], size, fn)
+				stepSopts.HintDuration = hint
+			}
+			sres, cerr := grape.CompileBinarySearch(sys, us[step.Group], gopts, stepSopts, seed)
+			if cerr != nil {
+				// Unreachable in the bracket — leave uncovered; Compile's
+				// latency fallback prices it gate-based.
+				continue
+			}
+			totalIters += sres.TotalIterations
+			trained[step.Group] = sres.Pulse
+			durations[step.Group] = sres.Duration
+			c.lib.Entries[class[step.Group].Key] = &precompile.Entry{
+				Key:        class[step.Group].Key,
+				NumQubits:  size,
+				Pulse:      sres.Pulse,
+				LatencyNs:  sres.Duration,
+				Iterations: sres.TotalIterations,
+				Frequency:  class[step.Group].Count,
+				Infidelity: sres.Infidelity,
+			}
+		}
+	}
+	return totalIters, nil
+}
+
+// librarySeed finds the most similar covered pulse of the same size, if
+// its distance is below a liberal threshold. It returns the pulse and its
+// latency (the binary-search hint), or (nil, 0).
+func (c *Compiler) librarySeed(u *cmat.Matrix, size int, fn similarity.Func) (*pulse.Pulse, float64) {
+	const threshold = 0.5
+	var best *precompile.Entry
+	bestDist := threshold
+	sys, err := hamiltonian.ForQubits(size, c.opts.Precompile.Ham)
+	if err != nil {
+		return nil, 0
+	}
+	for _, e := range c.lib.Entries {
+		if e.NumQubits != size {
+			continue
+		}
+		cand := grape.Propagate(sys, e.Pulse)
+		d, derr := similarity.Distance(fn, u, cand)
+		if derr == nil && d < bestDist {
+			best, bestDist = e, d
+		}
+	}
+	if best == nil {
+		return nil, 0
+	}
+	return best.Pulse, best.LatencyNs
+}

@@ -1,0 +1,223 @@
+package accqoc
+
+import (
+	"testing"
+
+	"accqoc/internal/circuit"
+	"accqoc/internal/gate"
+	"accqoc/internal/grape"
+	"accqoc/internal/grouping"
+	"accqoc/internal/precompile"
+	"accqoc/internal/topology"
+)
+
+// fastOptions keeps GRAPE cheap for integration tests: loose fidelity,
+// tight iteration caps, narrow search brackets.
+func fastOptions(dev *topology.Device) Options {
+	return Options{
+		Device: dev,
+		Policy: grouping.Map2b4l,
+		Precompile: precompile.Config{
+			Grape:    grape.Options{TargetInfidelity: 1e-2, MaxIterations: 300, Seed: 1},
+			Search1Q: grape.SearchOptions{MinDuration: 10, MaxDuration: 120, Resolution: 20},
+			Search2Q: grape.SearchOptions{MinDuration: 200, MaxDuration: 1400, Resolution: 200},
+		},
+	}
+}
+
+// smallProgram: a 3-qubit mix that maps onto a linear device with a couple
+// of two-qubit groups.
+func smallProgram() *circuit.Circuit {
+	c := circuit.New(3)
+	c.MustAppend(gate.H, []int{0})
+	c.MustAppend(gate.CX, []int{0, 1})
+	c.MustAppend(gate.T, []int{1})
+	c.MustAppend(gate.CX, []int{1, 2})
+	c.MustAppend(gate.H, []int{2})
+	return c
+}
+
+func TestNewDefaults(t *testing.T) {
+	c := New(Options{})
+	if c.Options().Device.Name != "ibmq-melbourne" {
+		t.Fatal("default device should be Melbourne")
+	}
+	if c.Options().Policy.Name != "map2b4l" {
+		t.Fatal("default policy should be map2b4l (the paper's best)")
+	}
+	if !c.Options().Mapping.CrosstalkAware {
+		t.Fatal("crosstalk-aware mapping should default on")
+	}
+}
+
+func TestPrepare(t *testing.T) {
+	c := New(fastOptions(topology.Linear(3)))
+	prep, err := c.Prepare(smallProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Physical.GateCount() == 0 {
+		t.Fatal("empty physical circuit")
+	}
+	if len(prep.Grouping.Groups) == 0 {
+		t.Fatal("no groups")
+	}
+	for _, g := range prep.Grouping.Groups {
+		if len(g.Qubits) > 2 {
+			t.Fatal("policy violated: group wider than 2 qubits")
+		}
+	}
+	// map2b4l decomposes swaps: none may survive.
+	for _, g := range prep.Physical.Gates {
+		if g.Name == gate.Swap {
+			t.Fatal("swap survived map-policy lowering")
+		}
+	}
+}
+
+func TestPrepareCCXDecomposition(t *testing.T) {
+	c := New(fastOptions(topology.Linear(3)))
+	prog := circuit.New(3)
+	prog.MustAppend(gate.CCX, []int{0, 1, 2})
+	prep, err := c.Prepare(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range prep.Physical.Gates {
+		if g.Name == gate.CCX {
+			t.Fatal("CCX survived preparation")
+		}
+	}
+}
+
+func TestCompileEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	c := New(fastOptions(topology.Linear(3)))
+	res, err := c.Compile(smallProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalGroups == 0 {
+		t.Fatal("no groups compiled")
+	}
+	if res.OverallLatencyNs <= 0 {
+		t.Fatal("overall latency not computed")
+	}
+	if res.GateBasedLatencyNs <= 0 {
+		t.Fatal("baseline latency not computed")
+	}
+	if res.LatencyReduction <= 1 {
+		t.Errorf("QOC latency %.0f ns did not beat gate-based %.0f ns",
+			res.OverallLatencyNs, res.GateBasedLatencyNs)
+	}
+	if res.EstimatedFidelity <= 0 || res.EstimatedFidelity > 1 {
+		t.Fatalf("fidelity estimate %v out of range", res.EstimatedFidelity)
+	}
+	if res.TrainingIterations == 0 {
+		t.Fatal("cold compile should have trained groups")
+	}
+	t.Logf("latency: QOC %.0f ns vs gate-based %.0f ns (%.2fx), coverage %.0f%%, %d iters",
+		res.OverallLatencyNs, res.GateBasedLatencyNs, res.LatencyReduction,
+		100*res.CoverageRate, res.TrainingIterations)
+}
+
+func TestLibraryGrowsAcrossCompiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	c := New(fastOptions(topology.Linear(3)))
+	first, err := c.Compile(smallProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CoverageRate == 1 {
+		t.Fatal("first compile should start uncovered")
+	}
+	second, err := c.Compile(smallProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CoverageRate != 1 {
+		t.Fatalf("second compile coverage = %v, want 1 (library reuse)", second.CoverageRate)
+	}
+	if second.TrainingIterations != 0 {
+		t.Fatal("covered compile must not train")
+	}
+	if second.OverallLatencyNs != first.OverallLatencyNs {
+		t.Fatalf("latency changed across identical compiles: %v vs %v",
+			first.OverallLatencyNs, second.OverallLatencyNs)
+	}
+}
+
+func TestProfileThenCompile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	c := New(fastOptions(topology.Linear(3)))
+	prof, err := c.Profile([]*circuit.Circuit{smallProgram()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.UniqueGroups == 0 || prof.Stats.TotalIterations == 0 {
+		t.Fatalf("profile did nothing: %+v", prof)
+	}
+	res, err := c.Compile(smallProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoverageRate != 1 {
+		t.Fatalf("profiled program coverage = %v, want 1", res.CoverageRate)
+	}
+}
+
+func TestCompileBruteForce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	c := New(fastOptions(topology.Linear(3)))
+	prog := circuit.New(2)
+	prog.MustAppend(gate.H, []int{0})
+	prog.MustAppend(gate.CX, []int{0, 1})
+	res, err := c.CompileBruteForce(prog, BruteForceOptions{MaxQubits: 2, MaxLayers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UniqueGroups == 0 || res.OverallLatencyNs <= 0 {
+		t.Fatalf("brute force result: %+v", res)
+	}
+	if res.LatencyReduction <= 1 {
+		t.Errorf("brute force should beat gate-based: %+v", res)
+	}
+}
+
+func TestCompileEmptyProgram(t *testing.T) {
+	c := New(fastOptions(topology.Linear(3)))
+	res, err := c.Compile(circuit.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverallLatencyNs != 0 || res.CoverageRate != 1 {
+		t.Fatalf("empty program: %+v", res)
+	}
+}
+
+func TestSetLibraryRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	c1 := New(fastOptions(topology.Linear(3)))
+	if _, err := c1.Compile(smallProgram()); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New(fastOptions(topology.Linear(3)))
+	c2.SetLibrary(c1.Library())
+	res, err := c2.Compile(smallProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoverageRate != 1 {
+		t.Fatal("transplanted library should fully cover")
+	}
+}

@@ -1,0 +1,55 @@
+// Command qasmgen writes the benchmark suite (§VI-A) as OpenQASM 2.0
+// files: the six Table II programs, or the full 159-program suite.
+//
+// Usage:
+//
+//	qasmgen -out bench/             # named suite
+//	qasmgen -out bench/ -full       # all 159 programs
+//	qasmgen -out bench/ -qft 12     # a single QFT instance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"accqoc/internal/qasm"
+	"accqoc/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	full := flag.Bool("full", false, "emit the full 159-program suite")
+	qft := flag.Int("qft", 0, "emit a single qft_<n> program instead")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	var progs []*workload.Program
+	switch {
+	case *qft > 0:
+		progs = []*workload.Program{workload.QFT(*qft)}
+	case *full:
+		var err error
+		progs, err = workload.FullSuite()
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		progs = workload.NamedSuite()
+	}
+	for _, p := range progs {
+		path := filepath.Join(*out, p.Name+".qasm")
+		if err := os.WriteFile(path, []byte(qasm.Print(p.Circuit)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d qubits, %d gates\n", path, p.Circuit.NumQubits, p.Circuit.GateCount())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qasmgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Parallel-workers: the paper's §V-D parallelization. The similarity MST
+// over a group category is converted to a node-weighted tree (each node
+// carries its training cost) and balance-partitioned across k workers; the
+// makespan of the heaviest part bounds the parallel compile time.
+//
+//	go run ./examples/parallel-workers
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"accqoc/internal/cmat"
+	"accqoc/internal/gate"
+	"accqoc/internal/partition"
+	"accqoc/internal/simgraph"
+	"accqoc/internal/similarity"
+)
+
+func main() {
+	// A category of 24 single-qubit rotation groups (angles on a lattice),
+	// as pre-compilation would produce.
+	var us []*cmat.Matrix
+	var names []string
+	for i := 0; i < 24; i++ {
+		angle := 0.2 + 0.11*float64(i)
+		u, err := gate.Unitary(gate.RZ, []float64{angle})
+		if err != nil {
+			log.Fatal(err)
+		}
+		us = append(us, u)
+		names = append(names, fmt.Sprintf("rz(%.2f)", angle))
+	}
+
+	// Build the similarity graph and its MST (identity-rooted).
+	g, err := simgraph.Build(us, similarity.TraceFid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mst, err := g.PrimMST(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("similarity graph: %d vertices, MST weight %.3f\n", g.N, mst.TotalWeight)
+
+	// §V-D: shift each MST edge's cost onto the vertex it adds; the root
+	// carries the identity-training cost. Edge distances translate to
+	// estimated training iterations: a warm start from distance d costs
+	// roughly base + slope·d, a cold start costs coldCost (the calibration
+	// any real run can take from its own BuildStats).
+	const (
+		base, slope = 40.0, 600.0
+		coldCost    = 400.0
+	)
+	costs := make([]float64, len(mst.Cost))
+	for v, d := range mst.Cost {
+		costs[v] = base + slope*d
+	}
+	tree, err := partition.FromMST(mst.Parent, costs, coldCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var serial float64
+	for _, w := range tree.Weight {
+		serial += w
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workers\tmakespan\tspeedup\tround-robin makespan")
+	for _, k := range []int{1, 2, 4, 8} {
+		bal, err := partition.Balanced(tree, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rr := partition.RoundRobin(tree, k)
+		fmt.Fprintf(tw, "%d\t%.3f\t%.2fx\t%.3f\n", k, bal.Makespan, bal.Speedup(tree), rr.Makespan)
+	}
+	tw.Flush()
+	fmt.Printf("serial training cost: %.3f (sum of node weights)\n", serial)
+	// The compilation sequence itself, for reference:
+	steps := mst.CompilationSequence()
+	fmt.Printf("first three compile steps: %s, %s, %s\n",
+		names[steps[0].Group], names[steps[1].Group], names[steps[2].Group])
+}

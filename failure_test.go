@@ -1,0 +1,105 @@
+package accqoc
+
+// Failure-injection tests: the pipeline must degrade gracefully when QOC
+// training cannot converge, rather than wedging or returning nonsense.
+
+import (
+	"testing"
+
+	"accqoc/internal/circuit"
+	"accqoc/internal/gate"
+	"accqoc/internal/grape"
+	"accqoc/internal/grouping"
+	"accqoc/internal/precompile"
+	"accqoc/internal/topology"
+)
+
+// strangledOptions makes every 2-qubit group untrainable: the search
+// bracket tops out far below the ZZ speed limit.
+func strangledOptions(dev *topology.Device) Options {
+	o := fastOptions(dev)
+	o.Precompile.Search2Q = grape.SearchOptions{MinDuration: 10, MaxDuration: 60, Resolution: 20}
+	o.Precompile.Grape.MaxIterations = 60
+	return o
+}
+
+func TestCompileSurvivesUntrainableGroups(t *testing.T) {
+	comp := New(strangledOptions(topology.Linear(2)))
+	prog := circuit.New(2)
+	prog.MustAppend(gate.H, []int{0})
+	prog.MustAppend(gate.CX, []int{0, 1})
+	res, err := comp.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CX group cannot train in ≤60 ns; it must fall back to the
+	// gate-based price rather than fail the compile.
+	if res.OverallLatencyNs <= 0 {
+		t.Fatal("no latency despite fallback pricing")
+	}
+	if res.OverallLatencyNs < 974 {
+		t.Fatalf("latency %v below a bare CX: fallback did not price the untrained group",
+			res.OverallLatencyNs)
+	}
+}
+
+func TestProfileRecordsFailures(t *testing.T) {
+	g := &grouping.Group{
+		Qubits: []int{0, 1},
+		Gates:  []gate.Instance{gate.MustInstance(gate.CX, []int{0, 1})},
+	}
+	uniq, err := grouping.Deduplicate([]*grouping.Group{g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := precompile.Config{
+		Grape:    grape.Options{TargetInfidelity: 1e-3, MaxIterations: 60, Restarts: -1, Seed: 1},
+		Search2Q: grape.SearchOptions{MinDuration: 10, MaxDuration: 60, Resolution: 20},
+	}
+	lib, stats, err := precompile.Build(uniq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Entries) != 0 {
+		t.Fatal("untrainable group entered the library")
+	}
+	if len(stats.Failed) != 1 {
+		t.Fatalf("failure not recorded: %+v", stats)
+	}
+}
+
+func TestScheduleWithUntrainedGroups(t *testing.T) {
+	comp := New(strangledOptions(topology.Linear(2)))
+	prog := circuit.New(2)
+	prog.MustAppend(gate.CX, []int{0, 1})
+	sched, err := comp.BuildSchedule(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Untrained group: nil pulse but a positive gate-based duration.
+	found := false
+	for _, sp := range sched.Pulses {
+		if sp.Pulse == nil && sp.DurationNs > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("expected an untrained group priced gate-based in the schedule")
+	}
+}
+
+func TestBruteForceSurvivesUntrainableGroups(t *testing.T) {
+	comp := New(strangledOptions(topology.Linear(2)))
+	prog := circuit.New(2)
+	prog.MustAppend(gate.CX, []int{0, 1})
+	res, err := comp.CompileBruteForce(prog, BruteForceOptions{MaxQubits: 2, MaxLayers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverallLatencyNs <= 0 {
+		t.Fatal("brute force did not fall back")
+	}
+}

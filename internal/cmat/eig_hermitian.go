@@ -1,0 +1,193 @@
+package cmat
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// HermitianEigen holds the spectral decomposition A = V·diag(Values)·V† of a
+// Hermitian matrix. Values are real and sorted ascending; column j of V is
+// the eigenvector for Values[j], and V is unitary.
+type HermitianEigen struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// ErrNoConvergence is returned when an iterative eigensolver fails to reach
+// the requested tolerance within its sweep budget.
+var ErrNoConvergence = errors.New("cmat: eigensolver did not converge")
+
+// maxJacobiSweeps bounds the cyclic Jacobi iteration. 30 sweeps is far more
+// than needed for the ≤ 8×8 matrices quantum groups produce, but keeps the
+// solver safe for larger inputs.
+const maxJacobiSweeps = 60
+
+// EigenHermitian diagonalizes a Hermitian matrix with the cyclic complex
+// Jacobi method. The input is validated to be Hermitian within hermTol; use
+// EigenHermitianTol to override the default 1e-9 (relative to max |aij|).
+func EigenHermitian(a *Matrix) (*HermitianEigen, error) {
+	return EigenHermitianTol(a, 1e-9)
+}
+
+// EigenHermitianTol is EigenHermitian with an explicit Hermitian-validation
+// tolerance (scaled by max |aij|).
+func EigenHermitianTol(a *Matrix, hermTol float64) (*HermitianEigen, error) {
+	mustSquare("EigenHermitian", a)
+	scale := MaxAbs(a)
+	if scale == 0 {
+		// Zero matrix: eigenvalues all zero, eigenvectors identity.
+		return &HermitianEigen{Values: make([]float64, a.Rows), Vectors: Identity(a.Rows)}, nil
+	}
+	if !IsHermitian(a, hermTol*scale) {
+		return nil, errors.New("cmat: EigenHermitian: input is not Hermitian")
+	}
+	n := a.Rows
+	w := a.Clone()
+	v := Identity(n)
+
+	offNorm := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += 2 * sqAbs(w.Data[i*n+j])
+			}
+		}
+		return math.Sqrt(s)
+	}
+
+	tol := 1e-13 * scale * float64(n)
+	// Elements already far below the convergence tolerance are skipped —
+	// the classical thresholded cyclic Jacobi refinement. The square
+	// threshold spreads the budget over the n(n−1)/2 pairs.
+	skip2 := tol * tol / float64(n*n)
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		if offNorm() <= tol {
+			return finishHermitian(w, v), nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if sqAbs(w.Data[p*n+q]) > skip2 {
+					jacobiRotate(w, v, p, q)
+				}
+			}
+		}
+	}
+	if offNorm() <= tol*1e3 {
+		// Accept slightly looser convergence rather than fail outright; the
+		// residual is still far below anything the QOC pipeline can resolve.
+		return finishHermitian(w, v), nil
+	}
+	return nil, ErrNoConvergence
+}
+
+// jacobiRotate applies a single complex Jacobi rotation zeroing w[p][q]
+// (and w[q][p]) of the Hermitian working matrix w, accumulating the
+// rotation into v so that original = v·w·v† is preserved.
+func jacobiRotate(w, v *Matrix, p, q int) {
+	n := w.Rows
+	apq := w.Data[p*n+q]
+	r := cmplx.Abs(apq)
+	if r == 0 {
+		return
+	}
+	// Phase factor so that conj(phase)*apq is real positive.
+	phase := apq / complex(r, 0)
+	app := real(w.Data[p*n+p])
+	aqq := real(w.Data[q*n+q])
+
+	// Stable computation of tan θ for the real symmetric 2×2 subproblem
+	// [[app, r],[r, aqq]] (Golub & Van Loan §8.5).
+	var t float64
+	theta := (aqq - app) / (2 * r)
+	if theta >= 0 {
+		t = 1 / (theta + math.Sqrt(1+theta*theta))
+	} else {
+		t = -1 / (-theta + math.Sqrt(1+theta*theta))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+
+	// The full 2×2 unitary is U = [[c, s·phase], [−s·conj(phase), c]] applied
+	// as w ← U† w U on rows/columns p and q. Column update for all rows i:
+	//   w[i][p] ← c·w[i][p] − s·conj(phase)·w[i][q]
+	//   w[i][q] ← s·phase·w[i][p_old] + c·w[i][q]
+	cs := complex(c, 0)
+	sp := complex(s, 0) * phase
+	spc := cmplx.Conj(sp)
+	for i := 0; i < n; i++ {
+		wip := w.Data[i*n+p]
+		wiq := w.Data[i*n+q]
+		w.Data[i*n+p] = cs*wip - spc*wiq
+		w.Data[i*n+q] = sp*wip + cs*wiq
+	}
+	// Row update: w ← U† w, i.e.
+	//   w[p][j] ← c·w[p][j] − s·phase·w[q][j] (conjugated transform)
+	for j := 0; j < n; j++ {
+		wpj := w.Data[p*n+j]
+		wqj := w.Data[q*n+j]
+		w.Data[p*n+j] = cs*wpj - sp*wqj
+		w.Data[q*n+j] = spc*wpj + cs*wqj
+	}
+	// Accumulate eigenvectors: v ← v·U.
+	for i := 0; i < n; i++ {
+		vip := v.Data[i*n+p]
+		viq := v.Data[i*n+q]
+		v.Data[i*n+p] = cs*vip - spc*viq
+		v.Data[i*n+q] = sp*vip + cs*viq
+	}
+	// Clean the rotated pair to exactly zero to aid convergence detection.
+	w.Data[p*n+q] = 0
+	w.Data[q*n+p] = 0
+}
+
+// finishHermitian extracts sorted eigenvalues and reorders eigenvector
+// columns to match.
+func finishHermitian(w, v *Matrix) *HermitianEigen {
+	n := w.Rows
+	type pair struct {
+		val float64
+		col int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{real(w.Data[i*n+i]), i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val < pairs[j].val })
+	values := make([]float64, n)
+	vectors := New(n, n)
+	for newCol, p := range pairs {
+		values[newCol] = p.val
+		for i := 0; i < n; i++ {
+			vectors.Data[i*n+newCol] = v.Data[i*n+p.col]
+		}
+	}
+	return &HermitianEigen{Values: values, Vectors: vectors}
+}
+
+// Reconstruct returns V·diag(Values)·V†, which should equal the original
+// matrix up to numerical error. Useful for testing.
+func (e *HermitianEigen) Reconstruct() *Matrix {
+	n := len(e.Values)
+	d := New(n, n)
+	for i, v := range e.Values {
+		d.Data[i*n+i] = complex(v, 0)
+	}
+	return MulChain(e.Vectors, d, Dagger(e.Vectors))
+}
+
+// ApplyFunc returns V·diag(f(λᵢ))·V†: a matrix function of the Hermitian
+// operator, e.g. f(λ)=exp(−iλt) yields the unitary propagator.
+func (e *HermitianEigen) ApplyFunc(f func(float64) complex128) *Matrix {
+	n := len(e.Values)
+	d := New(n, n)
+	for i, v := range e.Values {
+		d.Data[i*n+i] = f(v)
+	}
+	return MulChain(e.Vectors, d, Dagger(e.Vectors))
+}
+
+func sqAbs(v complex128) float64 {
+	return real(v)*real(v) + imag(v)*imag(v)
+}

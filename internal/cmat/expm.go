@@ -1,0 +1,127 @@
+package cmat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// padé-13 numerator coefficients for the scaling-and-squaring matrix
+// exponential (Higham, "The Scaling and Squaring Method for the Matrix
+// Exponential Revisited", 2005).
+var pade13 = [...]float64{
+	64764752532480000, 32382376266240000, 7771770303897600,
+	1187353796428800, 129060195264000, 10559470521600, 670442572800,
+	33522128640, 1323241920, 40840800, 960960, 16380, 182, 1,
+}
+
+// theta13 is the 1-norm threshold below which the order-13 Padé approximant
+// reaches double precision without scaling.
+const theta13 = 5.371920351148152
+
+// Expm computes the matrix exponential e^A for any square complex matrix
+// using the order-13 Padé approximant with scaling and squaring.
+func Expm(a *Matrix) (*Matrix, error) {
+	mustSquare("Expm", a)
+	n := a.Rows
+	norm := OneNorm(a)
+	s := 0
+	if norm > theta13 {
+		s = int(math.Ceil(math.Log2(norm / theta13)))
+	}
+	w := a
+	if s > 0 {
+		w = Scale(complex(math.Ldexp(1, -s), 0), a)
+	}
+
+	a2 := Mul(w, w)
+	a4 := Mul(a2, a2)
+	a6 := Mul(a2, a4)
+	id := Identity(n)
+
+	b := func(i int) complex128 { return complex(pade13[i], 0) }
+
+	// U = A · (A6·(b13·A6 + b11·A4 + b9·A2) + b7·A6 + b5·A4 + b3·A2 + b1·I)
+	inner := Scale(b(13), a6)
+	AccumScaled(inner, b(11), a4)
+	AccumScaled(inner, b(9), a2)
+	u := Mul(a6, inner)
+	AccumScaled(u, b(7), a6)
+	AccumScaled(u, b(5), a4)
+	AccumScaled(u, b(3), a2)
+	AccumScaled(u, b(1), id)
+	u = Mul(w, u)
+
+	// V = A6·(b12·A6 + b10·A4 + b8·A2) + b6·A6 + b4·A4 + b2·A2 + b0·I
+	inner = Scale(b(12), a6)
+	AccumScaled(inner, b(10), a4)
+	AccumScaled(inner, b(8), a2)
+	v := Mul(a6, inner)
+	AccumScaled(v, b(6), a6)
+	AccumScaled(v, b(4), a4)
+	AccumScaled(v, b(2), a2)
+	AccumScaled(v, b(0), id)
+
+	// r = (V − U)⁻¹ (V + U)
+	r, err := Solve(Sub(v, u), Add(v, u))
+	if err != nil {
+		return nil, fmt.Errorf("cmat: Expm Padé solve: %w", err)
+	}
+	for i := 0; i < s; i++ {
+		r = Mul(r, r)
+	}
+	return r, nil
+}
+
+// ExpmHermitian computes exp(i·t·H) for Hermitian H via spectral
+// decomposition: V·diag(e^{i·t·λ})·V†. This is the fast, exactly-unitary
+// path used by the GRAPE propagators, where the quantum propagator is
+// exp(−i·H·dt) (pass t = −dt).
+func ExpmHermitian(h *Matrix, t float64) (*Matrix, error) {
+	e, err := EigenHermitian(h)
+	if err != nil {
+		return nil, err
+	}
+	return e.ApplyFunc(func(l float64) complex128 {
+		return cmplx.Exp(complex(0, t*l))
+	}), nil
+}
+
+// Sqrtm returns the principal square root of a square matrix via its Schur
+// decomposition and the Björck–Hammarling recurrence on the triangular
+// factor. For normal matrices (unitaries, Hermitians) this reduces to the
+// spectral square root. Matrices with eigenvalues on the closed negative
+// real axis may not have a principal root; a zero or near-cancelling
+// diagonal pair yields an error.
+func Sqrtm(a *Matrix) (*Matrix, error) {
+	s, err := SchurDecompose(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	t := s.T
+	r := New(n, n)
+	for i := 0; i < n; i++ {
+		r.Data[i*n+i] = cmplx.Sqrt(t.Data[i*n+i])
+	}
+	for off := 1; off < n; off++ {
+		for i := 0; i+off < n; i++ {
+			j := i + off
+			sum := t.Data[i*n+j]
+			for k := i + 1; k < j; k++ {
+				sum -= r.Data[i*n+k] * r.Data[k*n+j]
+			}
+			den := r.Data[i*n+i] + r.Data[j*n+j]
+			if cmplx.Abs(den) < 1e-300 {
+				if cmplx.Abs(sum) < 1e-12 {
+					r.Data[i*n+j] = 0
+					continue
+				}
+				return nil, fmt.Errorf("cmat: Sqrtm: eigenvalue pair cancels (λi=%v, λj=%v)",
+					t.Data[i*n+i], t.Data[j*n+j])
+			}
+			r.Data[i*n+j] = sum / den
+		}
+	}
+	return MulChain(s.Q, r, Dagger(s.Q)), nil
+}

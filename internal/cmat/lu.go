@@ -1,0 +1,148 @@
+package cmat
+
+import (
+	"errors"
+	"math/cmplx"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a
+// numerically singular matrix.
+var ErrSingular = errors.New("cmat: matrix is singular to working precision")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U, where L is
+// unit lower triangular and U upper triangular, both packed into lu.
+type LU struct {
+	lu    *Matrix
+	pivot []int // row i of the factored matrix came from row pivot[i] of A
+	sign  int   // +1 or −1, parity of the permutation (for Det)
+}
+
+// Factorize computes the LU factorization of the square matrix a with
+// partial (row) pivoting. It returns ErrSingular if a pivot is exactly zero.
+func Factorize(a *Matrix) (*LU, error) {
+	mustSquare("Factorize", a)
+	n := a.Rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	for i := range pivot {
+		pivot[i] = i
+	}
+	sign := 1
+	for col := 0; col < n; col++ {
+		// Find the pivot row.
+		p := col
+		best := cmplx.Abs(lu.Data[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := cmplx.Abs(lu.Data[r*n+col]); v > best {
+				best, p = v, r
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				lu.Data[p*n+j], lu.Data[col*n+j] = lu.Data[col*n+j], lu.Data[p*n+j]
+			}
+			pivot[p], pivot[col] = pivot[col], pivot[p]
+			sign = -sign
+		}
+		// Eliminate below the pivot.
+		inv := 1 / lu.Data[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := lu.Data[r*n+col] * inv
+			lu.Data[r*n+col] = f
+			if f == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				lu.Data[r*n+j] -= f * lu.Data[col*n+j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// Solve returns X such that A·X = B, where A is the factored matrix.
+// B may have any number of columns.
+func (f *LU) Solve(b *Matrix) *Matrix {
+	n := f.lu.Rows
+	if b.Rows != n {
+		panic("cmat: LU.Solve dimension mismatch")
+	}
+	nc := b.Cols
+	x := New(n, nc)
+	// Apply the permutation: x = P·b.
+	for i := 0; i < n; i++ {
+		copy(x.Data[i*nc:(i+1)*nc], b.Data[f.pivot[i]*nc:(f.pivot[i]+1)*nc])
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		for k := 0; k < i; k++ {
+			l := f.lu.Data[i*n+k]
+			if l == 0 {
+				continue
+			}
+			for j := 0; j < nc; j++ {
+				x.Data[i*nc+j] -= l * x.Data[k*nc+j]
+			}
+		}
+	}
+	// Back substitution with the upper triangle.
+	for i := n - 1; i >= 0; i-- {
+		for k := i + 1; k < n; k++ {
+			u := f.lu.Data[i*n+k]
+			if u == 0 {
+				continue
+			}
+			for j := 0; j < nc; j++ {
+				x.Data[i*nc+j] -= u * x.Data[k*nc+j]
+			}
+		}
+		d := f.lu.Data[i*n+i]
+		for j := 0; j < nc; j++ {
+			x.Data[i*nc+j] /= d
+		}
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() complex128 {
+	d := complex(float64(f.sign), 0)
+	n := f.lu.Rows
+	for i := 0; i < n; i++ {
+		d *= f.lu.Data[i*n+i]
+	}
+	return d
+}
+
+// Inverse returns A⁻¹ computed from an LU factorization of A.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(Identity(a.Rows)), nil
+}
+
+// Solve returns X with A·X = B using LU with partial pivoting.
+func Solve(a, b *Matrix) (*Matrix, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Det returns the determinant of a.
+func Det(a *Matrix) (complex128, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		if errors.Is(err, ErrSingular) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return f.Det(), nil
+}

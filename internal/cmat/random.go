@@ -1,0 +1,81 @@
+package cmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// RandomGinibre returns an n×n matrix with i.i.d. standard complex Gaussian
+// entries (real and imaginary parts N(0, 1/2) each, so E|z|² = 1).
+func RandomGinibre(rng *rand.Rand, n int) *Matrix {
+	m := New(n, n)
+	s := 1 / math.Sqrt2
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64()*s, rng.NormFloat64()*s)
+	}
+	return m
+}
+
+// RandomHermitian returns a random n×n Hermitian matrix (GUE-style) with
+// entries of order one.
+func RandomHermitian(rng *rand.Rand, n int) *Matrix {
+	g := RandomGinibre(rng, n)
+	return Scale(0.5, Add(g, Dagger(g)))
+}
+
+// RandomUnitary returns a Haar-distributed n×n unitary matrix obtained from
+// the QR decomposition of a Ginibre matrix with the standard phase fix
+// (Mezzadri 2007).
+func RandomUnitary(rng *rand.Rand, n int) *Matrix {
+	g := RandomGinibre(rng, n)
+	q, r := qrGramSchmidt(g)
+	// Fix the phases so the distribution is Haar: Q ← Q·diag(r_ii/|r_ii|).
+	for j := 0; j < n; j++ {
+		d := r.Data[j*n+j]
+		if d == 0 {
+			continue
+		}
+		ph := d / complex(cmplx.Abs(d), 0)
+		for i := 0; i < n; i++ {
+			q.Data[i*n+j] *= ph
+		}
+	}
+	return q
+}
+
+// qrGramSchmidt computes a reduced QR factorization with modified
+// Gram-Schmidt. Adequate for random full-rank inputs; not exported because
+// Householder-based routines elsewhere are preferred for structured work.
+func qrGramSchmidt(a *Matrix) (q, r *Matrix) {
+	n := a.Rows
+	q = a.Clone()
+	r = New(n, n)
+	for j := 0; j < n; j++ {
+		// Orthogonalize column j against previous columns.
+		for k := 0; k < j; k++ {
+			var dot complex128
+			for i := 0; i < n; i++ {
+				dot += cmplx.Conj(q.Data[i*n+k]) * q.Data[i*n+j]
+			}
+			r.Data[k*n+j] = dot
+			for i := 0; i < n; i++ {
+				q.Data[i*n+j] -= dot * q.Data[i*n+k]
+			}
+		}
+		var norm float64
+		for i := 0; i < n; i++ {
+			norm += sqAbs(q.Data[i*n+j])
+		}
+		norm = math.Sqrt(norm)
+		r.Data[j*n+j] = complex(norm, 0)
+		if norm == 0 {
+			continue
+		}
+		inv := complex(1/norm, 0)
+		for i := 0; i < n; i++ {
+			q.Data[i*n+j] *= inv
+		}
+	}
+	return q, r
+}

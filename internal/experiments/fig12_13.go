@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"accqoc"
+	"accqoc/internal/grouping"
+	"accqoc/internal/precompile"
+	"accqoc/internal/similarity"
+	"accqoc/internal/workload"
+)
+
+// fig12Programs picks the latency-reduction programs for a scale: the
+// paper's six (Fig. 12) at full scale, a representative pair at small
+// scale.
+func (s Scale) fig12Programs() []*workload.Program {
+	if len(s.Fig12Custom) > 0 {
+		return s.Fig12Custom
+	}
+	named := workload.NamedSuite()
+	byName := map[string]*workload.Program{}
+	for _, p := range named {
+		byName[p.Name] = p
+	}
+	if s.Name == "full" {
+		return named
+	}
+	return []*workload.Program{byName["4gt4-v0"], byName["qft_10"]}
+}
+
+// Fig12Cell is one bar of the latency-reduction chart.
+type Fig12Cell struct {
+	Program   string
+	Policy    string
+	Reduction float64 // gate-based / QOC latency
+	// OptimizedReduction re-measures after the most-frequent-group
+	// re-training (§IV-G) — the red bars of Fig. 12.
+	OptimizedReduction float64
+}
+
+// Fig12 measures overall latency reduction for each program under all six
+// grouping policies (paper Fig. 12: mostly 1.2×–2.6×), with and without
+// the most-frequent-group optimization. A single pulse library is shared
+// across policies — entries are keyed by group matrix, so overlapping
+// groups train once.
+func Fig12(w io.Writer, sc Scale) ([]Fig12Cell, error) {
+	shared := precompile.NewLibrary()
+	var cells []Fig12Cell
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "program\tpolicy\treduction\twith freq-opt")
+	for _, prog := range sc.fig12Programs() {
+		for _, pol := range grouping.Policies {
+			comp := accqoc.New(accqoc.Options{
+				Device:     DeviceFor(prog.Circuit),
+				Policy:     pol,
+				Precompile: sc.precompileConfig(),
+			})
+			comp.SetLibrary(shared)
+			res, err := comp.Compile(prog.Circuit)
+			if err != nil {
+				return nil, err
+			}
+			cell := Fig12Cell{Program: prog.Name, Policy: pol.Name, Reduction: res.LatencyReduction}
+			// §IV-G: re-train the most frequent group with a larger
+			// budget, then re-measure (the library is fully covering now,
+			// so the re-compile is pure lookup).
+			if _, _, err := precompile.OptimizeMostFrequent(shared, sc.precompileConfig()); err == nil {
+				if res2, err2 := comp.Compile(prog.Circuit); err2 == nil {
+					cell.OptimizedReduction = res2.LatencyReduction
+				}
+			}
+			if cell.OptimizedReduction < cell.Reduction {
+				cell.OptimizedReduction = cell.Reduction
+			}
+			cells = append(cells, cell)
+			fmt.Fprintf(tw, "%s\t%s\t%.2fx\t%.2fx\n", cell.Program, cell.Policy, cell.Reduction, cell.OptimizedReduction)
+		}
+	}
+	var sum, osum float64
+	for _, c := range cells {
+		sum += c.Reduction
+		osum += c.OptimizedReduction
+	}
+	n := float64(len(cells))
+	fmt.Fprintf(tw, "average\t\t%.2fx\t%.2fx\t(paper: 1.2x–2.6x per policy, avg 2.43x)\n", sum/n, osum/n)
+	tw.Flush()
+	return cells, nil
+}
+
+// Fig13Row is one program's iteration-reduction measurement.
+type Fig13Row struct {
+	Program    string
+	Groups     int
+	Cold       int
+	Reductions map[similarity.Func]float64
+}
+
+// Fig13 measures per-program training-iteration reduction for the five
+// similarity functions (paper Fig. 13: up to 28% with fidelity1; the
+// inverse function hurts). Programs: the profiled category plus target
+// programs, as in the paper's seven.
+func Fig13(w io.Writer, sc Scale) ([]Fig13Row, error) {
+	_, targets, err := sc.profileSuite()
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) > 6 {
+		targets = targets[:6]
+	}
+	comp := accqoc.New(accqoc.Options{
+		Policy:     grouping.Map2b4l,
+		Precompile: sc.precompileConfig(),
+	})
+
+	var rows []Fig13Row
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "program\tgroups\tcold iters")
+	for _, fn := range similarity.All {
+		fmt.Fprintf(tw, "\t%s", fn)
+	}
+	fmt.Fprintln(tw)
+
+	// The paper's Fig. 13 includes the profiled category as its seventh
+	// entry; here it is the first row.
+	cat, err := profiledCategory(sc)
+	if err != nil {
+		return nil, err
+	}
+	if len(cat) > sc.Fig13Groups {
+		cat = cat[:sc.Fig13Groups]
+	}
+	catRow, err := accelRow("profiled-category", cat, sc)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, *catRow)
+	printFig13Row(tw, *catRow)
+
+	for _, t := range targets {
+		prep, perr := comp.Prepare(t.Circuit)
+		if perr != nil {
+			return nil, perr
+		}
+		uniq, derr := grouping.Deduplicate(prep.Grouping.Groups)
+		if derr != nil {
+			return nil, derr
+		}
+		if len(uniq) > sc.Fig13Groups {
+			uniq = uniq[:sc.Fig13Groups]
+		}
+		row, rerr := accelRow(t.Name, uniq, sc)
+		if rerr != nil {
+			return nil, rerr
+		}
+		rows = append(rows, *row)
+		printFig13Row(tw, *row)
+	}
+	tw.Flush()
+	return rows, nil
+}
+
+func accelRow(name string, uniq []*grouping.UniqueGroup, sc Scale) (*Fig13Row, error) {
+	cold, arms, err := precompile.AccelerationStudy(uniq, similarity.All, sc.precompileConfig())
+	if err != nil {
+		return nil, err
+	}
+	row := &Fig13Row{Program: name, Groups: len(uniq), Cold: cold.Iterations, Reductions: map[similarity.Func]float64{}}
+	for _, a := range arms {
+		row.Reductions[a.Function] = a.Reduction
+	}
+	return row, nil
+}
+
+func printFig13Row(w io.Writer, r Fig13Row) {
+	fmt.Fprintf(w, "%s\t%d\t%d", r.Program, r.Groups, r.Cold)
+	for _, fn := range similarity.All {
+		fmt.Fprintf(w, "\t%.1f%%", 100*r.Reductions[fn])
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"accqoc"
+	"accqoc/internal/circuit"
+	"accqoc/internal/crosstalk"
+	"accqoc/internal/gate"
+	"accqoc/internal/grouping"
+	"accqoc/internal/mapping"
+	"accqoc/internal/precompile"
+	"accqoc/internal/similarity"
+	"accqoc/internal/topology"
+	"accqoc/internal/workload"
+)
+
+func gateName(s string) gate.Name { return gate.Name(s) }
+
+// Fig5 prints the crosstalk error-rate comparison (paper Fig. 5): six
+// Melbourne couplings, isolated vs crosstalk-inflated CX error.
+func Fig5(w io.Writer) []crosstalk.FigureRow {
+	rows := crosstalk.Figure5(topology.Melbourne(), 6)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "pair\tisolated error\twith nearby CX\tinflation")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "CX(%d,%d)\t%.4f\t%.4f\t%.0f%%\n",
+			r.Pair[0], r.Pair[1], r.Isolated, r.Crosstalk,
+			100*(r.Crosstalk/r.Isolated-1))
+	}
+	tw.Flush()
+	return rows
+}
+
+// Fig7Result is the coverage experiment outcome.
+type Fig7Result struct {
+	Programs []string
+	Coverage []float64
+	Average  float64
+	Library  *precompile.Library
+	// ProfiledUnique is the trained category size (the paper's is 133).
+	ProfiledUnique int
+}
+
+// Fig7 runs static pre-compilation on the profiling subset and measures
+// per-program coverage under map2b4l (paper Fig. 7, avg 89.7%).
+func Fig7(w io.Writer, sc Scale) (*Fig7Result, error) {
+	profile, targets, err := sc.profileSuite()
+	if err != nil {
+		return nil, err
+	}
+	comp := accqoc.New(accqoc.Options{
+		Device:     topology.Melbourne(),
+		Policy:     grouping.Map2b4l,
+		Precompile: sc.precompileConfig(),
+	})
+	var progs []*circuit.Circuit
+	for _, p := range profile {
+		progs = append(progs, p.Circuit)
+	}
+	prof, err := comp.Profile(progs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Library: comp.Library(), ProfiledUnique: prof.UniqueGroups}
+	var sum float64
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "program\tgroups\tcovered\tcoverage")
+	for _, t := range targets {
+		prep, perr := comp.Prepare(t.Circuit)
+		if perr != nil {
+			return nil, perr
+		}
+		rate, covered, total, cerr := precompile.Coverage(prep.Grouping, comp.Library())
+		if cerr != nil {
+			return nil, cerr
+		}
+		res.Programs = append(res.Programs, t.Name)
+		res.Coverage = append(res.Coverage, rate)
+		sum += rate
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f%%\n", t.Name, total, covered, 100*rate)
+	}
+	if len(res.Coverage) > 0 {
+		res.Average = sum / float64(len(res.Coverage))
+	}
+	fmt.Fprintf(tw, "average\t\t\t%.1f%%\t(paper: 89.7%%)\n", 100*res.Average)
+	tw.Flush()
+	return res, nil
+}
+
+// Fig8Result is the similarity-function study outcome.
+type Fig8Result struct {
+	ColdIterations int
+	Arms           []precompile.AccelArm
+}
+
+// Fig8 measures the average iteration reduction of MST-accelerated
+// training under each of the five similarity functions, over a profiled
+// group category (paper Fig. 8: fidelity1 best, inverse hurts).
+func Fig8(w io.Writer, sc Scale) (*Fig8Result, error) {
+	uniq, err := profiledCategory(sc)
+	if err != nil {
+		return nil, err
+	}
+	if len(uniq) > sc.AccelGroups {
+		uniq = uniq[:sc.AccelGroups]
+	}
+	cfg := sc.precompileConfig()
+	cold, arms, err := precompile.AccelerationStudy(uniq, similarity.All, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "category: %d unique groups; cold baseline: %d iterations\n", len(uniq), cold.Iterations)
+	fmt.Fprintln(tw, "similarity fn\titerations\treduction")
+	for _, a := range arms {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f%%\n", a.Function, a.Iterations, 100*a.Reduction)
+	}
+	tw.Flush()
+	return &Fig8Result{ColdIterations: cold.Iterations, Arms: arms}, nil
+}
+
+// profiledCategory prepares the deduplicated map2b4l category of the
+// profiling subset, most frequent first.
+func profiledCategory(sc Scale) ([]*grouping.UniqueGroup, error) {
+	profile, _, err := sc.profileSuite()
+	if err != nil {
+		return nil, err
+	}
+	comp := accqoc.New(accqoc.Options{
+		Device:     topology.Melbourne(),
+		Policy:     grouping.Map2b4l,
+		Precompile: sc.precompileConfig(),
+	})
+	var all []*grouping.Group
+	for _, p := range profile {
+		prep, perr := comp.Prepare(p.Circuit)
+		if perr != nil {
+			return nil, perr
+		}
+		all = append(all, prep.Grouping.Groups...)
+	}
+	return grouping.Deduplicate(all)
+}
+
+// Fig11Result is the crosstalk-mapping experiment outcome.
+type Fig11Result struct {
+	Programs  []string
+	Before    []int
+	After     []int
+	Reduction float64 // average relative reduction
+}
+
+// Fig11 compares the crosstalk metric of programs mapped without and with
+// the crosstalk-extended heuristic (paper Fig. 11, −17.6% average).
+func Fig11(w io.Writer, sc Scale) (*Fig11Result, error) {
+	n := sc.Fig11Programs
+	if n == 0 {
+		n = sc.ProfilePrograms
+	}
+	var profile []*workload.Program
+	rng := rand.New(rand.NewSource(1144))
+	for i := 0; i < n; i++ {
+		span := sc.ProgramGates[1] - sc.ProgramGates[0]
+		gates := sc.ProgramGates[0]
+		if span > 0 {
+			gates += rng.Intn(span)
+		}
+		p, perr := workload.Random(fmt.Sprintf("xtalk_%02d", i), 4+rng.Intn(11), gates, int64(5200+i))
+		if perr != nil {
+			return nil, perr
+		}
+		profile = append(profile, p)
+	}
+	dev := topology.Melbourne()
+	res := &Fig11Result{}
+	var sumRed float64
+	counted := 0
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "program\tbaseline\tcrosstalk-aware\treduction")
+	for _, p := range profile {
+		work := p.Circuit.DecomposeCCX()
+		base, merr := mapping.Map(work, dev, mapping.Options{CrosstalkAware: false})
+		if merr != nil {
+			return nil, merr
+		}
+		aware, merr := mapping.Map(work, dev, mapping.Options{CrosstalkAware: true})
+		if merr != nil {
+			return nil, merr
+		}
+		b := crosstalk.Metric(base.Mapped, dev)
+		a := crosstalk.Metric(aware.Mapped, dev)
+		res.Programs = append(res.Programs, p.Name)
+		res.Before = append(res.Before, b)
+		res.After = append(res.After, a)
+		if b > 0 {
+			sumRed += float64(b-a) / float64(b)
+			counted++
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f%%\n", p.Name, b, a, pct(b, a))
+	}
+	if counted > 0 {
+		res.Reduction = sumRed / float64(counted)
+	}
+	fmt.Fprintf(tw, "average\t\t\t%.1f%%\t(paper: 17.6%%)\n", 100*res.Reduction)
+	tw.Flush()
+	return res, nil
+}
+
+func pct(before, after int) float64 {
+	if before == 0 {
+		return 0
+	}
+	return 100 * float64(before-after) / float64(before)
+}
+
+// Fig14Point is one (gates, groups) sample of the group-growth curve.
+type Fig14Point struct {
+	Gates        int
+	Occurrences  int
+	UniqueGroups int
+}
+
+// Fig14 measures how the number of distinct 2b4l groups grows with program
+// size (paper Fig. 14: strongly sub-linear).
+func Fig14(w io.Writer, sc Scale) ([]Fig14Point, error) {
+	comp := accqoc.New(accqoc.Options{
+		Device:     topology.Melbourne(),
+		Policy:     grouping.Map2b4l,
+		Precompile: sc.precompileConfig(),
+	})
+	var pts []Fig14Point
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "gates\tgroup occurrences\tunique groups")
+	for i, gates := range sc.Fig14Gates {
+		p, err := workload.Random(fmt.Sprintf("growth_%d", gates), 10, gates, int64(9000+i))
+		if err != nil {
+			return nil, err
+		}
+		prep, err := comp.Prepare(p.Circuit)
+		if err != nil {
+			return nil, err
+		}
+		uniq, err := grouping.Deduplicate(prep.Grouping.Groups)
+		if err != nil {
+			return nil, err
+		}
+		pt := Fig14Point{Gates: gates, Occurrences: len(prep.Grouping.Groups), UniqueGroups: len(uniq)}
+		pts = append(pts, pt)
+		fmt.Fprintf(tw, "%d\t%d\t%d\n", pt.Gates, pt.Occurrences, pt.UniqueGroups)
+	}
+	tw.Flush()
+	return pts, nil
+}
+
+// Fig15Row is one program of the AccQOC vs brute-force comparison.
+type Fig15Row struct {
+	Program             string
+	GateBasedNs         float64
+	AccQOCNs            float64
+	BruteNs             float64
+	AccQOCReduction     float64
+	BruteReduction      float64
+	AccQOCCompileTime   time.Duration
+	BruteCompileTime    time.Duration
+	CompileTimeSpeedup  float64
+	AccQOCIterations    int
+	BruteIterations     int
+	IterationSpeedupAlt float64
+}
+
+// Fig15 compares AccQOC (pre-compiled library + MST-accelerated dynamic
+// compilation) against brute-force QOC (largest trainable groups, cold) on
+// latency reduction and compile time (paper Fig. 15: 2.43× vs 3.01×
+// latency, 9.88× compile-time reduction).
+func Fig15(w io.Writer, sc Scale) ([]Fig15Row, error) {
+	// Profile a library first (its cost is the static one-time cost).
+	profile, _, err := sc.profileSuite()
+	if err != nil {
+		return nil, err
+	}
+	comp := accqoc.New(accqoc.Options{
+		Device:     topology.Melbourne(),
+		Policy:     grouping.Map2b4l,
+		Precompile: sc.precompileConfig(),
+	})
+	var progs []*circuit.Circuit
+	for _, p := range profile {
+		progs = append(progs, p.Circuit)
+	}
+	if _, err := comp.Profile(progs); err != nil {
+		return nil, err
+	}
+
+	var rows []Fig15Row
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "program\tgate-based(ns)\taccqoc(ns)\tbrute(ns)\taccqoc red.\tbrute red.\tcompile speedup")
+	for i := 0; i < sc.Fig15Programs; i++ {
+		p, perr := workload.Random(fmt.Sprintf("fig15_%d", i), 6, sc.Fig15Gates, int64(7100+i))
+		if perr != nil {
+			return nil, perr
+		}
+		acc, aerr := comp.Compile(p.Circuit)
+		if aerr != nil {
+			return nil, aerr
+		}
+		brute, berr := comp.CompileBruteForce(p.Circuit, accqoc.BruteForceOptions{MaxQubits: 3, MaxLayers: 8})
+		if berr != nil {
+			return nil, berr
+		}
+		row := Fig15Row{
+			Program:           p.Name,
+			GateBasedNs:       acc.GateBasedLatencyNs,
+			AccQOCNs:          acc.OverallLatencyNs,
+			BruteNs:           brute.OverallLatencyNs,
+			AccQOCReduction:   acc.LatencyReduction,
+			BruteReduction:    brute.LatencyReduction,
+			AccQOCCompileTime: acc.TrainingTime,
+			BruteCompileTime:  brute.TrainingTime,
+			AccQOCIterations:  acc.TrainingIterations,
+			BruteIterations:   brute.TrainingIterations,
+		}
+		if acc.TrainingTime > 0 {
+			row.CompileTimeSpeedup = float64(brute.TrainingTime) / float64(acc.TrainingTime)
+		}
+		if acc.TrainingIterations > 0 {
+			row.IterationSpeedupAlt = float64(brute.TrainingIterations) / float64(acc.TrainingIterations)
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.2fx\t%.2fx\t%.1fx\n",
+			row.Program, row.GateBasedNs, row.AccQOCNs, row.BruteNs,
+			row.AccQOCReduction, row.BruteReduction, row.CompileTimeSpeedup)
+	}
+	var accRed, bruteRed, speed float64
+	for _, r := range rows {
+		accRed += r.AccQOCReduction
+		bruteRed += r.BruteReduction
+		speed += r.CompileTimeSpeedup
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(tw, "average\t\t\t\t%.2fx\t%.2fx\t%.1fx\t(paper: 2.43x / 3.01x / 9.88x)\n",
+		accRed/n, bruteRed/n, speed/n)
+	tw.Flush()
+	return rows, nil
+}

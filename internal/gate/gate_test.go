@@ -1,0 +1,237 @@
+package gate
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"accqoc/internal/cmat"
+)
+
+func mustU(t *testing.T, n Name, params ...float64) *cmat.Matrix {
+	t.Helper()
+	u, err := Unitary(n, params)
+	if err != nil {
+		t.Fatalf("Unitary(%s): %v", n, err)
+	}
+	return u
+}
+
+func TestAllGatesAreUnitary(t *testing.T) {
+	for name, spec := range specs {
+		params := make([]float64, spec.Params)
+		for i := range params {
+			params[i] = 0.3 * float64(i+1)
+		}
+		u, err := Unitary(name, params)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !cmat.IsUnitary(u, 1e-12) {
+			t.Errorf("%s is not unitary", name)
+		}
+		if u.Rows != 1<<spec.Qubits {
+			t.Errorf("%s: dim %d, want %d", name, u.Rows, 1<<spec.Qubits)
+		}
+	}
+}
+
+func TestPauliAlgebra(t *testing.T) {
+	x, y, z := mustU(t, X), mustU(t, Y), mustU(t, Z)
+	// XY = iZ
+	if !cmat.Mul(x, y).EqualApprox(cmat.Scale(1i, z), 1e-12) {
+		t.Fatal("XY != iZ")
+	}
+	// X² = I
+	if !cmat.Mul(x, x).EqualApprox(cmat.Identity(2), 1e-12) {
+		t.Fatal("X² != I")
+	}
+	// HXH = Z
+	h := mustU(t, H)
+	if !cmat.MulChain(h, x, h).EqualApprox(z, 1e-12) {
+		t.Fatal("HXH != Z")
+	}
+}
+
+func TestPhaseGateRelations(t *testing.T) {
+	s, sdg := mustU(t, S), mustU(t, Sdg)
+	tt, tdg := mustU(t, T), mustU(t, Tdg)
+	if !cmat.Mul(s, sdg).EqualApprox(cmat.Identity(2), 1e-12) {
+		t.Fatal("S·S† != I")
+	}
+	// T² = S
+	if !cmat.Mul(tt, tt).EqualApprox(s, 1e-12) {
+		t.Fatal("T² != S")
+	}
+	if !cmat.Mul(tdg, tdg).EqualApprox(sdg, 1e-12) {
+		t.Fatal("T†² != S†")
+	}
+}
+
+func TestRotationsMatchUFamily(t *testing.T) {
+	theta, phi, lambda := 0.7, 1.1, -0.4
+	// u1(λ) = diag(1, e^{iλ})
+	u1g := mustU(t, U1, lambda)
+	if cmplx.Abs(u1g.At(1, 1)-cmplx.Exp(complex(0, lambda))) > 1e-12 {
+		t.Fatal("u1 wrong")
+	}
+	// u3(θ,0,0) = Ry(θ)
+	if !mustU(t, U3, theta, 0, 0).EqualApprox(mustU(t, RY, theta), 1e-12) {
+		t.Fatal("u3(θ,0,0) != Ry(θ)")
+	}
+	// u2(φ,λ) = u3(π/2,φ,λ)
+	if !mustU(t, U2, phi, lambda).EqualApprox(mustU(t, U3, math.Pi/2, phi, lambda), 1e-12) {
+		t.Fatal("u2 != u3(π/2,·,·)")
+	}
+	// rz(θ) equals u1(θ) up to global phase e^{−iθ/2}.
+	rz := mustU(t, RZ, theta)
+	u1t := mustU(t, U1, theta)
+	ph := cmplx.Exp(complex(0, -theta/2))
+	if !rz.EqualApprox(cmat.Scale(ph, u1t), 1e-12) {
+		t.Fatal("rz != e^{−iθ/2}·u1")
+	}
+}
+
+func TestCXTruthTable(t *testing.T) {
+	cx := mustU(t, CX)
+	// Basis |c t⟩ with control first: |10⟩ → |11⟩, |11⟩ → |10⟩.
+	cases := map[int]int{0: 0, 1: 1, 2: 3, 3: 2}
+	for in, out := range cases {
+		for r := 0; r < 4; r++ {
+			want := complex128(0)
+			if r == out {
+				want = 1
+			}
+			if cx.At(r, in) != want {
+				t.Fatalf("CX[%d][%d] = %v, want %v", r, in, cx.At(r, in), want)
+			}
+		}
+	}
+}
+
+func TestSwapViaThreeCX(t *testing.T) {
+	// SWAP = CX(0,1)·CX(1,0)·CX(0,1) with the second CX reversed via
+	// embedding.
+	cx01 := Embed(mustU(t, CX), []int{0, 1}, 2)
+	cx10 := Embed(mustU(t, CX), []int{1, 0}, 2)
+	got := cmat.MulChain(cx01, cx10, cx01)
+	if !got.EqualApprox(mustU(t, Swap), 1e-12) {
+		t.Fatal("three CXs do not make a SWAP")
+	}
+}
+
+func TestCCXDecompositionMatchesUnitary(t *testing.T) {
+	ccx := MustInstance(CCX, []int{0, 1, 2})
+	seq := DecomposeCCX(ccx)
+	if len(seq) != 15 {
+		t.Fatalf("CCX decomposition has %d gates, want 15 (paper Fig. 2)", len(seq))
+	}
+	acc := cmat.Identity(8)
+	for _, g := range seq {
+		u, err := g.Unitary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc = cmat.Mul(Embed(u, g.Qubits, 3), acc)
+	}
+	want := mustU(t, CCX)
+	// Compare up to global phase via trace overlap.
+	d := complex(8, 0)
+	overlap := cmplx.Abs(cmat.Trace(cmat.Mul(cmat.Dagger(want), acc))) / real(d)
+	if math.Abs(overlap-1) > 1e-10 {
+		t.Fatalf("CCX decomposition overlap = %v, want 1", overlap)
+	}
+}
+
+func TestDecomposeNonCCXPassthrough(t *testing.T) {
+	g := MustInstance(H, []int{3})
+	out := DecomposeCCX(g)
+	if len(out) != 1 || out[0].Name != H {
+		t.Fatal("non-CCX should pass through")
+	}
+}
+
+func TestEmbedSingleQubit(t *testing.T) {
+	x := mustU(t, X)
+	// X on qubit 1 of 2: |q0 q1⟩, flips the low bit.
+	full := Embed(x, []int{1}, 2)
+	want := cmat.Kron(cmat.Identity(2), x)
+	if !full.EqualApprox(want, 1e-12) {
+		t.Fatal("Embed(X, q1) != I⊗X")
+	}
+	full0 := Embed(x, []int{0}, 2)
+	want0 := cmat.Kron(x, cmat.Identity(2))
+	if !full0.EqualApprox(want0, 1e-12) {
+		t.Fatal("Embed(X, q0) != X⊗I")
+	}
+}
+
+func TestEmbedReversedControl(t *testing.T) {
+	cx := mustU(t, CX)
+	// CX with control=1, target=0 in a 2-qubit system: flips MSB when LSB=1.
+	rev := Embed(cx, []int{1, 0}, 2)
+	// |01⟩ (index 1) → |11⟩ (index 3).
+	if rev.At(3, 1) != 1 || rev.At(1, 1) != 0 {
+		t.Fatalf("reversed CX wrong:\n%v", rev)
+	}
+}
+
+func TestEmbedPreservesUnitarity(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		u := cmat.RandomUnitary(r, 4)
+		full := Embed(u, []int{2, 0}, 3)
+		return cmat.IsUnitary(full, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	if _, err := NewInstance("bogus", []int{0}, nil); err == nil {
+		t.Fatal("unknown gate accepted")
+	}
+	if _, err := NewInstance(CX, []int{0}, nil); err == nil {
+		t.Fatal("wrong qubit count accepted")
+	}
+	if _, err := NewInstance(CX, []int{1, 1}, nil); err == nil {
+		t.Fatal("repeated qubit accepted")
+	}
+	if _, err := NewInstance(RZ, []int{0}, nil); err == nil {
+		t.Fatal("missing parameter accepted")
+	}
+	if _, err := NewInstance(X, []int{-1}, nil); err == nil {
+		t.Fatal("negative qubit accepted")
+	}
+	g, err := NewInstance(RZ, []int{5}, []float64{1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.String() != "rz(1.5) q[5]" {
+		t.Fatalf("String = %q", g.String())
+	}
+}
+
+func TestInstanceIsDeepCopy(t *testing.T) {
+	qs := []int{0, 1}
+	g, err := NewInstance(CX, qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs[0] = 9
+	if g.Qubits[0] == 9 {
+		t.Fatal("Instance aliases caller's qubit slice")
+	}
+}
+
+func TestUnitaryErrors(t *testing.T) {
+	if _, err := Unitary("nope", nil); err == nil {
+		t.Fatal("unknown gate")
+	}
+	if _, err := Unitary(RZ, nil); err == nil {
+		t.Fatal("missing params")
+	}
+}

@@ -1,0 +1,79 @@
+package gatepulse
+
+import (
+	"math"
+	"testing"
+
+	"accqoc/internal/circuit"
+	"accqoc/internal/gate"
+	"accqoc/internal/topology"
+)
+
+func cal() topology.Calibration { return topology.MelbourneCalibration() }
+
+func TestGateLatencyTable(t *testing.T) {
+	c := cal()
+	cases := map[gate.Name]float64{
+		gate.RZ:   0,
+		gate.T:    0,
+		gate.U1:   0,
+		gate.X:    100,
+		gate.H:    100,
+		gate.U2:   50,
+		gate.U3:   100,
+		gate.CX:   974.9,
+		gate.Swap: 3 * 974.9,
+	}
+	for name, want := range cases {
+		if got := GateLatency(name, c); math.Abs(got-want) > 1e-9 {
+			t.Errorf("GateLatency(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestOverallSerialChain(t *testing.T) {
+	c := circuit.New(2)
+	c.MustAppend(gate.X, []int{0})
+	c.MustAppend(gate.CX, []int{0, 1})
+	c.MustAppend(gate.X, []int{1})
+	got := Overall(c, cal())
+	want := 100 + 974.9 + 100
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Overall = %v, want %v", got, want)
+	}
+}
+
+func TestOverallParallelism(t *testing.T) {
+	// Two X gates on different qubits run concurrently.
+	c := circuit.New(2)
+	c.MustAppend(gate.X, []int{0})
+	c.MustAppend(gate.X, []int{1})
+	if got := Overall(c, cal()); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("parallel Overall = %v, want 100", got)
+	}
+	if got := Serial(c, cal()); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("Serial = %v, want 200", got)
+	}
+}
+
+func TestFrameGatesAreFree(t *testing.T) {
+	c := circuit.New(1)
+	for i := 0; i < 10; i++ {
+		c.MustAppend(gate.RZ, []int{0}, 0.1)
+	}
+	if got := Overall(c, cal()); got != 0 {
+		t.Fatalf("rz chain latency = %v, want 0", got)
+	}
+}
+
+func TestCXDominatedProgram(t *testing.T) {
+	// The paper's observation: CX dominates gate-based latency.
+	c := circuit.New(2)
+	for i := 0; i < 5; i++ {
+		c.MustAppend(gate.CX, []int{0, 1})
+	}
+	want := 5 * 974.9
+	if got := Overall(c, cal()); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("CX chain = %v, want %v", got, want)
+	}
+}

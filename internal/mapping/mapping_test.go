@@ -1,0 +1,256 @@
+package mapping
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"accqoc/internal/circuit"
+	"accqoc/internal/cmat"
+	"accqoc/internal/crosstalk"
+	"accqoc/internal/gate"
+	"accqoc/internal/topology"
+)
+
+// permutationMatrix builds the unitary that relabels qubit l to layout[l].
+func permutationMatrix(layout []int, n int) *cmat.Matrix {
+	dim := 1 << n
+	p := cmat.New(dim, dim)
+	for logical := 0; logical < dim; logical++ {
+		phys := 0
+		for l := 0; l < n; l++ {
+			bit := (logical >> (n - 1 - l)) & 1
+			phys |= bit << (n - 1 - layout[l])
+		}
+		p.Set(phys, logical, 1)
+	}
+	return p
+}
+
+// checkEquivalent verifies U_mapped = Π_final · U_logical up to global
+// phase, for same-size circuit and device.
+func checkEquivalent(t *testing.T, logical *circuit.Circuit, res *Result) {
+	t.Helper()
+	ul, err := logical.Unitary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	um, err := res.Mapped.Unitary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := permutationMatrix(res.FinalLayout, logical.NumQubits)
+	want := cmat.Mul(pi, ul)
+	d := float64(ul.Rows)
+	overlap := cmplx.Abs(cmat.Trace(cmat.Mul(cmat.Dagger(want), um))) / d
+	if math.Abs(overlap-1) > 1e-9 {
+		t.Fatalf("mapped circuit not equivalent: overlap=%v", overlap)
+	}
+}
+
+func TestMapAdjacentNoSwaps(t *testing.T) {
+	dev := topology.Linear(3)
+	c := circuit.New(3)
+	c.MustAppend(gate.CX, []int{0, 1})
+	res, err := Map(c, dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount != 0 {
+		t.Fatalf("SwapCount = %d, want 0", res.SwapCount)
+	}
+	checkEquivalent(t, c, res)
+}
+
+func TestMapInsertsSwap(t *testing.T) {
+	dev := topology.Linear(3)
+	c := circuit.New(3)
+	c.MustAppend(gate.CX, []int{0, 2}) // distance 2 → one swap
+	res, err := Map(c, dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount != 1 {
+		t.Fatalf("SwapCount = %d, want 1", res.SwapCount)
+	}
+	checkEquivalent(t, c, res)
+}
+
+func TestMapDirectionFix(t *testing.T) {
+	dev := topology.Linear(2) // only CX 0→1 native
+	c := circuit.New(2)
+	c.MustAppend(gate.CX, []int{1, 0}) // needs the reversed direction
+	res, err := Map(c, dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirectionFixes != 1 {
+		t.Fatalf("DirectionFixes = %d, want 1", res.DirectionFixes)
+	}
+	checkEquivalent(t, c, res)
+}
+
+func TestMapRandomCircuitsEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dev := topology.Linear(4)
+	for trial := 0; trial < 10; trial++ {
+		c := circuit.New(4)
+		for i := 0; i < 12; i++ {
+			if rng.Intn(2) == 0 {
+				c.MustAppend(gate.H, []int{rng.Intn(4)})
+			} else {
+				a := rng.Intn(4)
+				b := rng.Intn(4)
+				for b == a {
+					b = rng.Intn(4)
+				}
+				c.MustAppend(gate.CX, []int{a, b})
+			}
+		}
+		res, err := Map(c, dev, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEquivalent(t, c, res)
+		// Every CX in the output must be native-direction adjacent.
+		for _, g := range res.Mapped.Gates {
+			if g.Name == gate.CX && !dev.CXDirected(g.Qubits[0], g.Qubits[1]) {
+				t.Fatalf("non-native CX %v in mapped output", g.Qubits)
+			}
+			if g.Name == gate.Swap && !dev.Connected(g.Qubits[0], g.Qubits[1]) {
+				t.Fatalf("swap on non-adjacent qubits %v", g.Qubits)
+			}
+		}
+	}
+}
+
+func TestMapMelbourneProgram(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dev := topology.Melbourne()
+	c := circuit.New(14)
+	for i := 0; i < 120; i++ {
+		a := rng.Intn(14)
+		b := rng.Intn(14)
+		for b == a {
+			b = rng.Intn(14)
+		}
+		c.MustAppend(gate.CX, []int{a, b})
+	}
+	res, err := Map(c, dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount == 0 {
+		t.Fatal("random 14-qubit program should need swaps on Melbourne")
+	}
+	for _, g := range res.Mapped.Gates {
+		if g.Name == gate.CX && !dev.CXDirected(g.Qubits[0], g.Qubits[1]) {
+			t.Fatalf("non-native CX %v", g.Qubits)
+		}
+	}
+}
+
+func TestCrosstalkAwareReducesMetric(t *testing.T) {
+	// Across a batch of random programs, crosstalk-aware mapping should
+	// not increase, and typically decrease, the total crosstalk metric.
+	dev := topology.Melbourne()
+	rng := rand.New(rand.NewSource(23))
+	var base, aware int
+	for trial := 0; trial < 8; trial++ {
+		c := circuit.New(14)
+		for i := 0; i < 60; i++ {
+			a := rng.Intn(14)
+			b := rng.Intn(14)
+			for b == a {
+				b = rng.Intn(14)
+			}
+			c.MustAppend(gate.CX, []int{a, b})
+		}
+		r1, err := Map(c, dev, Options{CrosstalkAware: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Map(c, dev, Options{CrosstalkAware: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base += crosstalk.Metric(r1.Mapped, dev)
+		aware += crosstalk.Metric(r2.Mapped, dev)
+	}
+	if aware > base {
+		t.Fatalf("crosstalk-aware mapping increased the metric: %d vs %d", aware, base)
+	}
+	t.Logf("crosstalk metric: baseline=%d aware=%d (reduction %.1f%%)",
+		base, aware, 100*float64(base-aware)/float64(base))
+}
+
+func TestMapRejectsOversizedCircuit(t *testing.T) {
+	dev := topology.Linear(2)
+	c := circuit.New(3)
+	if _, err := Map(c, dev, Options{}); err == nil {
+		t.Fatal("expected error for circuit larger than device")
+	}
+}
+
+func TestMapRejectsThreeQubitGates(t *testing.T) {
+	dev := topology.Linear(3)
+	c := circuit.New(3)
+	c.MustAppend(gate.CCX, []int{0, 1, 2})
+	if _, err := Map(c, dev, Options{}); err == nil {
+		t.Fatal("expected error for undecomposed CCX")
+	}
+}
+
+func TestDecomposeSwaps(t *testing.T) {
+	dev := topology.Linear(3)
+	c := circuit.New(3)
+	c.MustAppend(gate.CX, []int{0, 2})
+	res, err := Map(c, dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := DecomposeSwaps(res.Mapped, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range flat.Gates {
+		if g.Name == gate.Swap {
+			t.Fatal("swap survived decomposition")
+		}
+		if g.Name == gate.CX && !dev.CXDirected(g.Qubits[0], g.Qubits[1]) {
+			t.Fatalf("non-native CX %v after decomposition", g.Qubits)
+		}
+	}
+	// The decomposed circuit must implement the same unitary as the
+	// swap-bearing one.
+	u1, err := res.Mapped.Unitary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := flat.Unitary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap := cmplx.Abs(cmat.Trace(cmat.Mul(cmat.Dagger(u1), u2))) / float64(u1.Rows)
+	if math.Abs(overlap-1) > 1e-9 {
+		t.Fatalf("swap decomposition changed semantics: overlap=%v", overlap)
+	}
+}
+
+func TestGreedyFallback(t *testing.T) {
+	// With a tiny expansion budget the mapper must still produce a correct
+	// result via the greedy router.
+	dev := topology.Linear(5)
+	c := circuit.New(5)
+	c.MustAppend(gate.CX, []int{0, 4})
+	c.MustAppend(gate.CX, []int{1, 3})
+	res, err := Map(c, dev, Options{MaxExpansions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GreedyFallbacks == 0 {
+		t.Fatal("expected greedy fallback with budget 1")
+	}
+	checkEquivalent(t, c, res)
+}

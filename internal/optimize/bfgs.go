@@ -1,0 +1,284 @@
+package optimize
+
+import "math"
+
+// MinimizeBFGS runs dense BFGS with a strong-Wolfe line search (Nocedal &
+// Wright, Algorithms 6.1 + 3.5/3.6). The inverse Hessian approximation
+// starts at the identity and is reset whenever the curvature condition
+// fails badly.
+func MinimizeBFGS(obj Objective, x0 []float64, opts Options) *Result {
+	opts = opts.withDefaults()
+	st := newRunState(opts)
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	grad := make([]float64, n)
+	cost := obj.Gradient(x, grad)
+	st.evals++
+
+	// hInv is the inverse Hessian approximation, row-major n×n.
+	hInv := make([]float64, n*n)
+	resetH := func() {
+		for i := range hInv {
+			hInv[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			hInv[i*n+i] = 1
+		}
+	}
+	resetH()
+
+	dir := make([]float64, n)
+	xNew := make([]float64, n)
+	gradNew := make([]float64, n)
+	s := make([]float64, n)
+	y := make([]float64, n)
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if cost <= opts.TargetCost {
+			return &Result{X: x, Cost: cost, Iterations: iter, FuncEvals: st.evals, Converged: true, Reason: "target cost reached"}
+		}
+		if infNorm(grad) <= opts.GradTol {
+			return &Result{X: x, Cost: cost, Iterations: iter, FuncEvals: st.evals, Converged: true, Reason: "gradient tolerance reached"}
+		}
+		if st.expired() {
+			return &Result{X: x, Cost: cost, Iterations: iter, FuncEvals: st.evals, Reason: "time budget exhausted"}
+		}
+		// dir = −H⁻¹·grad
+		for i := 0; i < n; i++ {
+			var sum float64
+			row := hInv[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				sum += row[j] * grad[j]
+			}
+			dir[i] = -sum
+		}
+		// Ensure descent; reset H on failure.
+		if dot(dir, grad) >= 0 {
+			resetH()
+			for i := range dir {
+				dir[i] = -grad[i]
+			}
+		}
+		alpha, newCost, ok := wolfeLineSearch(obj, st, x, dir, cost, grad, xNew, gradNew)
+		if !ok {
+			return &Result{X: x, Cost: cost, Iterations: iter, FuncEvals: st.evals, Reason: "line search failed"}
+		}
+		_ = alpha
+		for i := 0; i < n; i++ {
+			s[i] = xNew[i] - x[i]
+			y[i] = gradNew[i] - grad[i]
+		}
+		sy := dot(s, y)
+		if sy > 1e-12*norm2(s)*norm2(y) {
+			updateInverseHessian(hInv, s, y, sy, n)
+		} else {
+			resetH()
+		}
+		copy(x, xNew)
+		copy(grad, gradNew)
+		cost = newCost
+	}
+	return &Result{X: x, Cost: cost, Iterations: opts.MaxIterations, FuncEvals: st.evals, Reason: "iteration cap"}
+}
+
+// updateInverseHessian applies the BFGS update
+// H ← (I − ρ·s·yᵀ)·H·(I − ρ·y·sᵀ) + ρ·s·sᵀ with ρ = 1/(yᵀs).
+func updateInverseHessian(hInv, s, y []float64, sy float64, n int) {
+	rho := 1 / sy
+	// hy = H·y
+	hy := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		row := hInv[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			sum += row[j] * y[j]
+		}
+		hy[i] = sum
+	}
+	yhy := dot(y, hy)
+	// H += ρ²·(yᵀHy)·s·sᵀ + ρ·s·sᵀ − ρ·(s·hyᵀ + hy·sᵀ)
+	c1 := rho*rho*yhy + rho
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			hInv[i*n+j] += c1*s[i]*s[j] - rho*(s[i]*hy[j]+hy[i]*s[j])
+		}
+	}
+}
+
+// MinimizeLBFGS runs limited-memory BFGS with the two-loop recursion.
+func MinimizeLBFGS(obj Objective, x0 []float64, opts Options) *Result {
+	opts = opts.withDefaults()
+	st := newRunState(opts)
+	n := len(x0)
+	m := opts.Memory
+	x := append([]float64(nil), x0...)
+	grad := make([]float64, n)
+	cost := obj.Gradient(x, grad)
+	st.evals++
+
+	var sHist, yHist [][]float64
+	var rhoHist []float64
+
+	dir := make([]float64, n)
+	xNew := make([]float64, n)
+	gradNew := make([]float64, n)
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if cost <= opts.TargetCost {
+			return &Result{X: x, Cost: cost, Iterations: iter, FuncEvals: st.evals, Converged: true, Reason: "target cost reached"}
+		}
+		if infNorm(grad) <= opts.GradTol {
+			return &Result{X: x, Cost: cost, Iterations: iter, FuncEvals: st.evals, Converged: true, Reason: "gradient tolerance reached"}
+		}
+		if st.expired() {
+			return &Result{X: x, Cost: cost, Iterations: iter, FuncEvals: st.evals, Reason: "time budget exhausted"}
+		}
+		// Two-loop recursion.
+		copy(dir, grad)
+		k := len(sHist)
+		alphas := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			alphas[i] = rhoHist[i] * dot(sHist[i], dir)
+			axpy(dir, -alphas[i], yHist[i])
+		}
+		if k > 0 {
+			gamma := dot(sHist[k-1], yHist[k-1]) / dot(yHist[k-1], yHist[k-1])
+			scaleVec(dir, gamma)
+		}
+		for i := 0; i < k; i++ {
+			beta := rhoHist[i] * dot(yHist[i], dir)
+			axpy(dir, alphas[i]-beta, sHist[i])
+		}
+		for i := range dir {
+			dir[i] = -dir[i]
+		}
+		if dot(dir, grad) >= 0 {
+			sHist, yHist, rhoHist = nil, nil, nil
+			for i := range dir {
+				dir[i] = -grad[i]
+			}
+		}
+		_, newCost, ok := wolfeLineSearch(obj, st, x, dir, cost, grad, xNew, gradNew)
+		if !ok {
+			return &Result{X: x, Cost: cost, Iterations: iter, FuncEvals: st.evals, Reason: "line search failed"}
+		}
+		s := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s[i] = xNew[i] - x[i]
+			y[i] = gradNew[i] - grad[i]
+		}
+		if sy := dot(s, y); sy > 1e-12*norm2(s)*norm2(y) {
+			sHist = append(sHist, s)
+			yHist = append(yHist, y)
+			rhoHist = append(rhoHist, 1/sy)
+			if len(sHist) > m {
+				sHist = sHist[1:]
+				yHist = yHist[1:]
+				rhoHist = rhoHist[1:]
+			}
+		}
+		copy(x, xNew)
+		copy(grad, gradNew)
+		cost = newCost
+	}
+	return &Result{X: x, Cost: cost, Iterations: opts.MaxIterations, FuncEvals: st.evals, Reason: "iteration cap"}
+}
+
+// wolfeLineSearch finds a step along dir satisfying the strong Wolfe
+// conditions (c1 = 1e-4, c2 = 0.9). On success xNew/gradNew hold the new
+// point and its gradient, and the new cost is returned.
+func wolfeLineSearch(obj Objective, st *runState, x, dir []float64, f0 float64, g0 []float64, xNew, gradNew []float64) (alpha, cost float64, ok bool) {
+	const c1, c2 = 1e-4, 0.9
+	const maxSteps = 25
+	d0 := dot(g0, dir)
+	if d0 >= 0 {
+		return 0, f0, false
+	}
+	eval := func(a float64) (float64, float64) {
+		for i := range x {
+			xNew[i] = x[i] + a*dir[i]
+		}
+		c := obj.Gradient(xNew, gradNew)
+		st.evals++
+		return c, dot(gradNew, dir)
+	}
+
+	var alphaPrev, fPrev float64 = 0, f0
+	alphaCur := 1.0
+	var fCur, dCur float64
+	for i := 0; i < maxSteps; i++ {
+		fCur, dCur = eval(alphaCur)
+		if fCur > f0+c1*alphaCur*d0 || (i > 0 && fCur >= fPrev) {
+			return zoom(obj, st, x, dir, f0, d0, alphaPrev, fPrev, alphaCur, eval, xNew, gradNew)
+		}
+		if math.Abs(dCur) <= -c2*d0 {
+			return alphaCur, fCur, true
+		}
+		if dCur >= 0 {
+			return zoom(obj, st, x, dir, f0, d0, alphaCur, fCur, alphaPrev, eval, xNew, gradNew)
+		}
+		alphaPrev, fPrev = alphaCur, fCur
+		alphaCur *= 2
+	}
+	// Accept the last point if it at least decreases the cost.
+	if fCur < f0 {
+		return alphaCur, fCur, true
+	}
+	return 0, f0, false
+}
+
+// zoom is the interval-refinement phase of the Wolfe search (N&W Alg 3.6).
+func zoom(obj Objective, st *runState, x, dir []float64, f0, d0, lo, fLo, hi float64,
+	eval func(float64) (float64, float64), xNew, gradNew []float64) (float64, float64, bool) {
+	const c1, c2 = 1e-4, 0.9
+	for i := 0; i < 30; i++ {
+		a := (lo + hi) / 2
+		f, d := eval(a)
+		if f > f0+c1*a*d0 || f >= fLo {
+			hi = a
+		} else {
+			if math.Abs(d) <= -c2*d0 {
+				return a, f, true
+			}
+			if d*(hi-lo) >= 0 {
+				hi = lo
+			}
+			lo, fLo = a, f
+		}
+		if math.Abs(hi-lo) < 1e-14 {
+			if f < f0 {
+				return a, f, true
+			}
+			break
+		}
+	}
+	// Final attempt: return lo if it improves on f0.
+	f, _ := eval(lo)
+	if f < f0 {
+		return lo, f, true
+	}
+	return 0, f0, false
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+func axpy(dst []float64, alpha float64, v []float64) {
+	for i := range dst {
+		dst[i] += alpha * v[i]
+	}
+}
+
+func scaleVec(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}

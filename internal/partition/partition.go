@@ -1,0 +1,310 @@
+// Package partition implements the paper's §V-D parallelization: the MST's
+// edge costs are shifted onto nodes (each vertex carries the cost of the
+// edge through which Prim added it; the root carries the cost of training
+// from the identity), and the resulting node-weighted tree is divided into
+// k connected parts with balanced weight sums. The paper delegates this to
+// METIS; the tree-structured instance is solved here directly and optimally
+// for the min-max objective via parametric search — see DESIGN.md
+// "Substitutions".
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tree is a node-weighted rooted tree.
+type Tree struct {
+	Parent []int     // Parent[root] = -1
+	Weight []float64 // non-negative node weights
+	root   int
+	kids   [][]int
+}
+
+// NewTree validates parent links and builds child lists. Exactly one root
+// (Parent = -1) is required and links must be acyclic.
+func NewTree(parent []int, weight []float64) (*Tree, error) {
+	n := len(parent)
+	if len(weight) != n {
+		return nil, fmt.Errorf("partition: %d weights for %d nodes", len(weight), n)
+	}
+	t := &Tree{Parent: append([]int(nil), parent...), Weight: append([]float64(nil), weight...), root: -1}
+	t.kids = make([][]int, n)
+	for v, p := range parent {
+		if weight[v] < 0 {
+			return nil, fmt.Errorf("partition: negative weight %v at node %d", weight[v], v)
+		}
+		if p == -1 {
+			if t.root >= 0 {
+				return nil, fmt.Errorf("partition: multiple roots (%d and %d)", t.root, v)
+			}
+			t.root = v
+			continue
+		}
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("partition: node %d has invalid parent %d", v, p)
+		}
+		t.kids[p] = append(t.kids[p], v)
+	}
+	if t.root < 0 && n > 0 {
+		return nil, fmt.Errorf("partition: no root")
+	}
+	// Cycle check: every node must reach the root.
+	for v := range parent {
+		seen := 0
+		for cur := v; cur != -1; cur = parent[cur] {
+			seen++
+			if seen > n {
+				return nil, fmt.Errorf("partition: cycle through node %d", v)
+			}
+		}
+	}
+	return t, nil
+}
+
+// FromMST builds the node-weighted tree of §V-D from MST parent links and
+// per-node edge costs: node v weighs Cost[v] (its MST edge), and the root
+// weighs rootCost — "a value proportional to the time it takes to train the
+// first node from identity matrix".
+func FromMST(parent []int, edgeCost []float64, rootCost float64) (*Tree, error) {
+	w := append([]float64(nil), edgeCost...)
+	for v, p := range parent {
+		if p == -1 {
+			w[v] = rootCost
+		}
+	}
+	return NewTree(parent, w)
+}
+
+// Result is a k-way partition of tree nodes.
+type Result struct {
+	// Part[v] is the part id (0..K-1) of node v.
+	Part []int
+	// K is the number of parts actually used.
+	K int
+	// PartWeights sums node weights per part.
+	PartWeights []float64
+	// Makespan is max(PartWeights) — the parallel-training critical path.
+	Makespan float64
+}
+
+// Balanced cuts the tree into at most k connected parts minimizing the
+// maximum part weight. The min-max objective is solved exactly by binary
+// searching the bound and greedily cutting bottom-up (the classical
+// shifting-style algorithm for tree partitioning).
+func Balanced(t *Tree, k int) (*Result, error) {
+	n := len(t.Parent)
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k = %d", k)
+	}
+	if n == 0 {
+		return &Result{Part: nil, K: 0, PartWeights: nil}, nil
+	}
+	if k > n {
+		k = n
+	}
+	var total, maxW float64
+	for _, w := range t.Weight {
+		total += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	lo, hi := math.Max(maxW, total/float64(k)), total
+	// Parametric search on the bound to 1e-9 relative precision, then one
+	// final greedy pass to materialize the cuts.
+	for iter := 0; iter < 60 && hi-lo > 1e-9*(1+total); iter++ {
+		mid := (lo + hi) / 2
+		if cuts, ok := t.greedyCut(mid); ok && cuts+1 <= k {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	cutEdges, _ := t.cutSet(hi)
+	return t.materialize(cutEdges, k), nil
+}
+
+// greedyCut returns the number of cuts needed so every component's weight
+// is ≤ bound, processing leaves upward and cutting the heaviest children
+// first. ok is false when a single node exceeds the bound.
+func (t *Tree) greedyCut(bound float64) (cuts int, ok bool) {
+	cutEdges, ok := t.cutSet(bound)
+	return len(cutEdges), ok
+}
+
+// cutSet computes the actual set of cut edges (child node ids) for a bound.
+func (t *Tree) cutSet(bound float64) (map[int]bool, bool) {
+	n := len(t.Parent)
+	sub := make([]float64, n)
+	cut := map[int]bool{}
+	order := t.postorder()
+	for _, v := range order {
+		if t.Weight[v] > bound {
+			return nil, false
+		}
+		sum := t.Weight[v]
+		// Collect child contributions, heaviest first, cutting while over.
+		type kid struct {
+			id int
+			w  float64
+		}
+		var kids []kid
+		for _, c := range t.kids[v] {
+			if !cut[c] {
+				kids = append(kids, kid{c, sub[c]})
+			}
+		}
+		sort.Slice(kids, func(i, j int) bool { return kids[i].w > kids[j].w })
+		for _, kd := range kids {
+			sum += kd.w
+		}
+		for i := 0; sum > bound && i < len(kids); i++ {
+			cut[kids[i].id] = true
+			sum -= kids[i].w
+		}
+		if sum > bound {
+			return nil, false
+		}
+		sub[v] = sum
+	}
+	return cut, true
+}
+
+func (t *Tree) postorder() []int {
+	n := len(t.Parent)
+	order := make([]int, 0, n)
+	var stack []int
+	visited := make([]bool, n)
+	if n == 0 {
+		return order
+	}
+	stack = append(stack, t.root)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		if !visited[v] {
+			visited[v] = true
+			for _, c := range t.kids[v] {
+				stack = append(stack, c)
+			}
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+	}
+	// The two-phase stack walk can re-visit; dedupe while preserving the
+	// first pop order.
+	seen := make([]bool, n)
+	out := order[:0]
+	for _, v := range order {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// materialize labels components induced by the cut edges and packs them
+// into at most k parts (smallest-weight-first merging when the cut produced
+// more components than k — can happen only at loose bounds).
+func (t *Tree) materialize(cutEdges map[int]bool, k int) *Result {
+	n := len(t.Parent)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	nComp := 0
+	// Roots of components: the tree root plus every cut child.
+	var weights []float64
+	var assign func(v, c int)
+	assign = func(v, c int) {
+		comp[v] = c
+		weights[c] += t.Weight[v]
+		for _, ch := range t.kids[v] {
+			if !cutEdges[ch] {
+				assign(ch, c)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		isRoot := t.Parent[v] == -1 || cutEdges[v]
+		if isRoot && comp[v] == -1 {
+			weights = append(weights, 0)
+			assign(v, nComp)
+			nComp++
+		}
+	}
+	// Merge smallest components while above k (merging is only a labeling
+	// concern: parts map to workers, connectivity within a worker is not
+	// required once more than k components exist).
+	for nComp > k {
+		// find two smallest
+		i1, i2 := -1, -1
+		for i := 0; i < nComp; i++ {
+			if i1 < 0 || weights[i] < weights[i1] {
+				i2 = i1
+				i1 = i
+			} else if i2 < 0 || weights[i] < weights[i2] {
+				i2 = i
+			}
+		}
+		// merge i2 into i1
+		for v := range comp {
+			if comp[v] == i2 {
+				comp[v] = i1
+			}
+		}
+		weights[i1] += weights[i2]
+		weights[i2] = weights[nComp-1]
+		for v := range comp {
+			if comp[v] == nComp-1 {
+				comp[v] = i2
+			}
+		}
+		weights = weights[:nComp-1]
+		nComp--
+	}
+	res := &Result{Part: comp, K: nComp, PartWeights: weights}
+	for _, w := range weights {
+		if w > res.Makespan {
+			res.Makespan = w
+		}
+	}
+	return res
+}
+
+// Speedup reports serial-total / makespan for a partition — the parallel
+// training speedup the paper's worker pool achieves.
+func (r *Result) Speedup(tree *Tree) float64 {
+	var total float64
+	for _, w := range tree.Weight {
+		total += w
+	}
+	if r.Makespan == 0 {
+		return 1
+	}
+	return total / r.Makespan
+}
+
+// RoundRobin is the naive baseline: nodes dealt to k parts in index order,
+// ignoring tree structure. Used by the ablation bench.
+func RoundRobin(t *Tree, k int) *Result {
+	n := len(t.Parent)
+	if k > n {
+		k = n
+	}
+	res := &Result{Part: make([]int, n), K: k, PartWeights: make([]float64, k)}
+	for v := 0; v < n; v++ {
+		p := v % k
+		res.Part[v] = p
+		res.PartWeights[p] += t.Weight[v]
+	}
+	for _, w := range res.PartWeights {
+		if w > res.Makespan {
+			res.Makespan = w
+		}
+	}
+	return res
+}

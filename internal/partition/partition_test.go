@@ -1,0 +1,247 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// chain builds a path 0→1→…→n−1 with the given weights.
+func chain(weights []float64) *Tree {
+	parent := make([]int, len(weights))
+	parent[0] = -1
+	for i := 1; i < len(weights); i++ {
+		parent[i] = i - 1
+	}
+	t, err := NewTree(parent, weights)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func TestNewTreeValidation(t *testing.T) {
+	if _, err := NewTree([]int{-1, 0}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewTree([]int{-1, -1}, []float64{1, 1}); err == nil {
+		t.Fatal("two roots accepted")
+	}
+	if _, err := NewTree([]int{1, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	if _, err := NewTree([]int{-1, 5}, []float64{1, 1}); err == nil {
+		t.Fatal("invalid parent accepted")
+	}
+	if _, err := NewTree([]int{-1}, []float64{-2}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestFromMSTShiftsEdgeCosts(t *testing.T) {
+	// §V-D: node weight = cost of its MST edge; root gets rootCost.
+	tree, err := FromMST([]int{-1, 0, 1}, []float64{0, 3, 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Weight[0] != 7 || tree.Weight[1] != 3 || tree.Weight[2] != 5 {
+		t.Fatalf("weights = %v", tree.Weight)
+	}
+}
+
+func TestBalancedChainTwoParts(t *testing.T) {
+	tr := chain([]float64{1, 1, 1, 1})
+	res, err := Balanced(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 2 {
+		t.Fatalf("makespan = %v, want 2", res.Makespan)
+	}
+	if res.K != 2 {
+		t.Fatalf("K = %d", res.K)
+	}
+}
+
+func TestBalancedSinglePart(t *testing.T) {
+	tr := chain([]float64{2, 3, 4})
+	res, err := Balanced(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 9 || res.K != 1 {
+		t.Fatalf("K=%d makespan=%v", res.K, res.Makespan)
+	}
+}
+
+func TestBalancedStar(t *testing.T) {
+	// Root with four unit leaves, k=2, parts must stay connected: any part
+	// without the root is a single leaf, so the optimum is {root+3 leaves}
+	// vs {1 leaf} — makespan 4.
+	parent := []int{-1, 0, 0, 0, 0}
+	weights := []float64{1, 1, 1, 1, 1}
+	tr, err := NewTree(parent, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Balanced(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 4 {
+		t.Fatalf("star makespan = %v, want 4 (connected parts)", res.Makespan)
+	}
+	// With k=3 two leaves can split off: {root+2}, {leaf}, {leaf} → 3.
+	res3, err := Balanced(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Makespan != 3 {
+		t.Fatalf("star k=3 makespan = %v, want 3", res3.Makespan)
+	}
+}
+
+func TestBalancedRespectsK(t *testing.T) {
+	tr := chain([]float64{1, 1, 1, 1, 1, 1})
+	for k := 1; k <= 8; k++ {
+		res, err := Balanced(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.K > k {
+			t.Fatalf("k=%d: produced %d parts", k, res.K)
+		}
+		// Part ids must be in range and weights consistent.
+		var sum float64
+		for _, w := range res.PartWeights {
+			sum += w
+		}
+		if math.Abs(sum-6) > 1e-9 {
+			t.Fatalf("k=%d: weight sum %v, want 6", k, sum)
+		}
+	}
+}
+
+func TestBalancedMakespanNeverBelowLowerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		n := 2 + rng.Intn(20)
+		parent := make([]int, n)
+		weights := make([]float64, n)
+		parent[0] = -1
+		for i := 1; i < n; i++ {
+			parent[i] = rng.Intn(i) // random tree
+		}
+		var total, maxW float64
+		for i := range weights {
+			weights[i] = rng.Float64() * 10
+			total += weights[i]
+			if weights[i] > maxW {
+				maxW = weights[i]
+			}
+		}
+		tr, err := NewTree(parent, weights)
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(5)
+		res, err := Balanced(tr, k)
+		if err != nil {
+			return false
+		}
+		lower := math.Max(maxW, total/float64(k))
+		// Makespan must respect the trivial lower bound and never exceed
+		// the serial total.
+		return res.Makespan >= lower-1e-6 && res.Makespan <= total+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancedBeatsOrMatchesRoundRobinOnChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(15)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64()*5 + 0.1
+		}
+		tr := chain(weights)
+		k := 2 + rng.Intn(3)
+		bal, err := Balanced(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := RoundRobin(tr, k)
+		if bal.Makespan > rr.Makespan+1e-9 {
+			// Round-robin ignores connectivity, so it can cheat; but on
+			// chains the balanced cut should never be *worse* by more than
+			// the largest node.
+			var maxW float64
+			for _, w := range weights {
+				if w > maxW {
+					maxW = w
+				}
+			}
+			if bal.Makespan > rr.Makespan+maxW {
+				t.Fatalf("balanced %v much worse than round robin %v", bal.Makespan, rr.Makespan)
+			}
+		}
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	tr := chain([]float64{1, 1, 1, 1})
+	res, err := Balanced(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Speedup(tr)
+	if math.Abs(s-2) > 1e-9 {
+		t.Fatalf("speedup = %v, want 2", s)
+	}
+}
+
+func TestPartLabelsAreContiguousComponents(t *testing.T) {
+	// On a chain, each part must be a contiguous interval.
+	tr := chain([]float64{1, 2, 1, 2, 1, 2})
+	res, err := Balanced(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Part); i++ {
+		cur := res.Part[i]
+		// once a part id ends it must not reappear
+		for j := i + 1; j < len(res.Part); j++ {
+			if res.Part[j] == cur {
+				// fine while contiguous
+				if res.Part[j-1] != cur {
+					t.Fatalf("part %d not contiguous on chain: %v", cur, res.Part)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, err := NewTree(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Balanced(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 0 {
+		t.Fatal("empty tree should produce zero parts")
+	}
+}
+
+func TestBalancedInvalidK(t *testing.T) {
+	tr := chain([]float64{1})
+	if _, err := Balanced(tr, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

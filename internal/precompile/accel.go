@@ -1,0 +1,154 @@
+package precompile
+
+import (
+	"fmt"
+	"sort"
+
+	"accqoc/internal/cmat"
+	"accqoc/internal/grape"
+	"accqoc/internal/grouping"
+	"accqoc/internal/hamiltonian"
+	"accqoc/internal/pulse"
+	"accqoc/internal/simgraph"
+	"accqoc/internal/similarity"
+)
+
+// AccelArm is one arm of the accelerated-training study (Fig. 8/13): the
+// total GRAPE iterations to compile a group category under one ordering.
+type AccelArm struct {
+	Function   similarity.Func // "" for the cold baseline
+	Iterations int
+	// Reduction is 1 − Iterations/cold, filled by AccelerationStudy.
+	Reduction float64
+}
+
+// FixedDurationFor returns the per-size pulse duration used by the
+// acceleration study. Durations are chosen above the model's worst-case
+// speed limit for the size (a SWAP-class two-qubit unitary needs ≈ 937 ns)
+// so that iteration counts compare orderings, not feasibility.
+func FixedDurationFor(numQubits int) float64 {
+	switch numQubits {
+	case 1:
+		return 100
+	case 2:
+		return 1100
+	default:
+		return 1100 * float64(numQubits-1)
+	}
+}
+
+// AccelerationStudy trains every unique group once per arm — a cold
+// baseline plus one arm per similarity function, each ordered by that
+// function's MST with warm starts along tree edges — and reports the total
+// iteration counts. This regenerates the data behind the paper's Figures 8
+// and 13.
+func AccelerationStudy(uniq []*grouping.UniqueGroup, fns []similarity.Func, cfg Config) (cold AccelArm, arms []AccelArm, err error) {
+	cfg = cfg.withDefaults()
+	bySize := map[int][]*grouping.UniqueGroup{}
+	for _, u := range uniq {
+		bySize[u.NumQubits] = append(bySize[u.NumQubits], u)
+	}
+	sizes := make([]int, 0, len(bySize))
+	for s := range bySize {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+
+	type class struct {
+		size int
+		sys  *hamiltonian.System
+		us   []*cmat.Matrix
+	}
+	var classes []class
+	for _, size := range sizes {
+		sys, serr := hamiltonian.ForQubits(size, cfg.Ham)
+		if serr != nil {
+			return cold, nil, serr
+		}
+		us := make([]*cmat.Matrix, len(bySize[size]))
+		for i, g := range bySize[size] {
+			u, uerr := g.Group.Unitary()
+			if uerr != nil {
+				return cold, nil, uerr
+			}
+			us[i] = canonicalUnitary(u)
+		}
+		classes = append(classes, class{size: size, sys: sys, us: us})
+	}
+
+	// run trains every class in the given order; fn ("" for the cold arm)
+	// gates warm starts by its similarity threshold — a too-distant MST
+	// parent would hurt rather than help (§V-C's identity fallback).
+	run := func(fn similarity.Func, order func(c class) ([]simgraph.Step, error)) (int, error) {
+		total := 0
+		for _, c := range classes {
+			steps, oerr := order(c)
+			if oerr != nil {
+				return 0, oerr
+			}
+			gopts := cfg.Grape
+			gopts.Segments = SegmentsFor(c.size)
+			dur := FixedDurationFor(c.size)
+			trained := make([]*pulse.Pulse, len(c.us))
+			for _, step := range steps {
+				var seed *pulse.Pulse
+				if step.WarmFrom >= 0 && trained[step.WarmFrom] != nil &&
+					fn != "" && step.Distance <= similarity.WarmThreshold(fn, c.sys.Dim) {
+					seed = trained[step.WarmFrom]
+				}
+				res, cerr := grape.Compile(c.sys, c.us[step.Group], dur, gopts, seed)
+				if cerr != nil {
+					return 0, cerr
+				}
+				total += res.Iterations
+				if res.Converged {
+					trained[step.Group] = res.Pulse
+				}
+			}
+		}
+		return total, nil
+	}
+
+	coldIters, err := run("", func(c class) ([]simgraph.Step, error) {
+		return simgraph.ColdSequence(len(c.us)), nil
+	})
+	if err != nil {
+		return cold, nil, err
+	}
+	cold = AccelArm{Function: "", Iterations: coldIters}
+
+	for _, fn := range fns {
+		iters, rerr := run(fn, func(c class) ([]simgraph.Step, error) {
+			if len(c.us) == 1 {
+				return simgraph.ColdSequence(1), nil
+			}
+			g, gerr := simgraph.Build(c.us, fn)
+			if gerr != nil {
+				return nil, gerr
+			}
+			mst, merr := g.PrimMST(0)
+			if merr != nil {
+				return nil, merr
+			}
+			return mst.CompilationSequence(), nil
+		})
+		if rerr != nil {
+			return cold, nil, rerr
+		}
+		arm := AccelArm{Function: fn, Iterations: iters}
+		if coldIters > 0 {
+			arm.Reduction = 1 - float64(iters)/float64(coldIters)
+		}
+		arms = append(arms, arm)
+	}
+	return cold, arms, nil
+}
+
+// String renders an arm for reports.
+func (a AccelArm) String() string {
+	name := string(a.Function)
+	if name == "" {
+		name = "cold"
+	}
+	return fmt.Sprintf("%-10s iterations=%d reduction=%.1f%%", name, a.Iterations, 100*a.Reduction)
+}

@@ -1,0 +1,170 @@
+package qasm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"accqoc/internal/circuit"
+	"accqoc/internal/gate"
+)
+
+const sample = `
+OPENQASM 2.0;
+include "qelib1.inc";
+// a comment
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[2]; // trailing comment
+u3(pi/2, 0, -pi) q[1];
+tdg q[2];
+barrier q[0];
+measure q[0] -> c[0];
+`
+
+func TestParseSample(t *testing.T) {
+	c, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 3 {
+		t.Fatalf("NumQubits = %d", c.NumQubits)
+	}
+	if c.GateCount() != 5 {
+		t.Fatalf("GateCount = %d, want 5 (measure/barrier dropped)", c.GateCount())
+	}
+	g := c.Gates[2]
+	if g.Name != gate.RZ || math.Abs(g.Params[0]-math.Pi/4) > 1e-15 {
+		t.Fatalf("rz parse wrong: %+v", g)
+	}
+	u := c.Gates[3]
+	if u.Name != gate.U3 || len(u.Params) != 3 || math.Abs(u.Params[2]+math.Pi) > 1e-15 {
+		t.Fatalf("u3 parse wrong: %+v", u)
+	}
+	if c.Gates[1].Qubits[0] != 0 || c.Gates[1].Qubits[1] != 1 {
+		t.Fatalf("cx operands wrong: %+v", c.Gates[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"qreg q[2]; bogus q[0];",
+		"qreg q[2]; x q[5];",
+		"qreg q[2]; x r[0];",
+		"x q[0];",             // gate before qreg
+		"qreg q[2]; rz q[0];", // missing parameter
+		"qreg q[2]; rz(pi/0) q[0];",
+		"qreg q[2]; rz(pi q[0];",
+		"qreg q[bad];",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseMultipleQregs(t *testing.T) {
+	src := "qreg a[2]; qreg b[2]; cx a[1],b[0];"
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 4 {
+		t.Fatalf("NumQubits = %d, want 4", c.NumQubits)
+	}
+	g := c.Gates[0]
+	if g.Qubits[0] != 1 || g.Qubits[1] != 2 {
+		t.Fatalf("cross-register operands = %v, want [1 2]", g.Qubits)
+	}
+}
+
+func TestExprEvaluator(t *testing.T) {
+	cases := map[string]float64{
+		"1":           1,
+		"pi":          math.Pi,
+		"-pi/2":       -math.Pi / 2,
+		"2*pi/3":      2 * math.Pi / 3,
+		"1+2*3":       7,
+		"(1+2)*3":     9,
+		"-(1+1)":      -2,
+		"1e-3":        0.001,
+		"3.5/7":       0.5,
+		"pi*0.25":     math.Pi / 4,
+		"+2":          2,
+		"1 - 2 - 3":   -4,
+		"8/2/2":       2,
+		"2*(3+(4-1))": 12,
+		"1.5E2":       150,
+	}
+	for expr, want := range cases {
+		got, err := evalExpr(expr)
+		if err != nil {
+			t.Errorf("evalExpr(%q): %v", expr, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("evalExpr(%q) = %v, want %v", expr, got, want)
+		}
+	}
+}
+
+func TestExprEvaluatorErrors(t *testing.T) {
+	for _, expr := range []string{"", "1+", "(1", "foo", "1/0", "1 2"} {
+		if _, err := evalExpr(expr); err == nil {
+			t.Errorf("evalExpr(%q) succeeded, want error", expr)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := circuit.New(4)
+	c.MustAppend(gate.H, []int{0})
+	c.MustAppend(gate.CX, []int{0, 3})
+	c.MustAppend(gate.RZ, []int{2}, math.Pi/8)
+	c.MustAppend(gate.U3, []int{1}, math.Pi/2, 0.125, -math.Pi)
+	c.MustAppend(gate.Swap, []int{1, 2})
+
+	src := Print(c)
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nsource:\n%s", err, src)
+	}
+	if back.NumQubits != c.NumQubits || back.GateCount() != c.GateCount() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			back.NumQubits, back.GateCount(), c.NumQubits, c.GateCount())
+	}
+	for i := range c.Gates {
+		a, b := c.Gates[i], back.Gates[i]
+		if a.Name != b.Name {
+			t.Fatalf("gate %d name %s vs %s", i, a.Name, b.Name)
+		}
+		for j := range a.Qubits {
+			if a.Qubits[j] != b.Qubits[j] {
+				t.Fatalf("gate %d qubits %v vs %v", i, a.Qubits, b.Qubits)
+			}
+		}
+		for j := range a.Params {
+			if math.Abs(a.Params[j]-b.Params[j]) > 1e-12 {
+				t.Fatalf("gate %d params %v vs %v", i, a.Params, b.Params)
+			}
+		}
+	}
+}
+
+func TestPrintSymbolicPi(t *testing.T) {
+	c := circuit.New(1)
+	c.MustAppend(gate.RZ, []int{0}, math.Pi/4)
+	out := Print(c)
+	if !strings.Contains(out, "rz(pi/4)") {
+		t.Fatalf("expected symbolic pi/4 in output:\n%s", out)
+	}
+}
+
+func TestParseNoQreg(t *testing.T) {
+	if _, err := Parse("OPENQASM 2.0;"); err == nil {
+		t.Fatal("expected error for program without qreg")
+	}
+}

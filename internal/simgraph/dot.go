@@ -1,0 +1,51 @@
+package simgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the MST as a Graphviz digraph for inspection: vertices in
+// Prim order (the compilation sequence), edges parent→child annotated with
+// the similarity distance. Vertex 0 is the identity root. labels, when
+// non-nil, names the caller's unitaries (labels[i] describes unitary i,
+// i.e. vertex i+1).
+func (m *MST) DOT(labels []string) string {
+	var b strings.Builder
+	b.WriteString("digraph mst {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=box, fontsize=10];\n")
+	order := make(map[int]int, len(m.Order))
+	for pos, v := range m.Order {
+		order[v] = pos
+	}
+	name := func(v int) string {
+		if v == 0 {
+			return "identity"
+		}
+		if labels != nil && v-1 < len(labels) {
+			return labels[v-1]
+		}
+		return fmt.Sprintf("g%d", v-1)
+	}
+	// Deterministic vertex listing.
+	verts := append([]int(nil), m.Order...)
+	sort.Ints(verts)
+	for _, v := range verts {
+		fmt.Fprintf(&b, "  v%d [label=\"%s\\n#%d in CS\"];\n", v, escapeDot(name(v)), order[v])
+	}
+	for _, v := range verts {
+		if m.Parent[v] < 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  v%d -> v%d [label=\"%.3f\"];\n", m.Parent[v], v, m.Cost[v])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,214 @@
+// Package topology models quantum hardware: coupling graphs with directed
+// two-qubit gates, BFS distance matrices, and device calibration data
+// (decoherence times, gate latencies, gate errors). The shipped devices
+// include the IBM Q Melbourne 14-qubit chip the paper evaluates on
+// (its Figure 10), plus linear and grid devices for tests.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed coupling: a CX with control From and target To is
+// natively executable.
+type Edge struct {
+	From, To int
+}
+
+// Device is a quantum chip model: qubit count, directed coupling list and
+// calibration. All latency values are in nanoseconds, error rates are
+// probabilities per gate.
+type Device struct {
+	Name      string
+	NumQubits int
+	Edges     []Edge
+
+	Calibration Calibration
+
+	adj  [][]int // undirected adjacency lists, sorted
+	dist [][]int // undirected BFS distances; -1 when disconnected
+}
+
+// Calibration holds the device's timing and error model. Values default to
+// the Melbourne-era numbers quoted in the paper (§II-E).
+type Calibration struct {
+	T1ns            float64 // relaxation time
+	T2ns            float64 // dephasing time
+	CXLatencyNs     float64 // two-qubit gate duration
+	Gate1QLatencyNs float64 // pulse-backed single-qubit gate duration
+	FrameLatencyNs  float64 // frame-change gates (rz/u1/z/s/t family)
+	CXError         float64 // average CX gate error
+	Gate1QError     float64 // average single-qubit gate error
+}
+
+// MelbourneCalibration returns the calibration quoted in the paper:
+// T1 = 57.35 µs, T2 = 61.82 µs, CX ≈ 974.9 ns, CX error 2.46e-2.
+func MelbourneCalibration() Calibration {
+	return Calibration{
+		T1ns:            57350,
+		T2ns:            61820,
+		CXLatencyNs:     974.9,
+		Gate1QLatencyNs: 100,
+		FrameLatencyNs:  0,
+		CXError:         2.46e-2,
+		Gate1QError:     1.0e-3,
+	}
+}
+
+// New builds a device from a directed edge list and computes adjacency and
+// distance tables. Edges must reference qubits in [0, n).
+func New(name string, n int, edges []Edge, cal Calibration) (*Device, error) {
+	d := &Device{Name: name, NumQubits: n, Edges: append([]Edge(nil), edges...), Calibration: cal}
+	adjSet := make([]map[int]bool, n)
+	for i := range adjSet {
+		adjSet[i] = map[int]bool{}
+	}
+	for _, e := range edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n || e.From == e.To {
+			return nil, fmt.Errorf("topology: invalid edge %v on %d qubits", e, n)
+		}
+		adjSet[e.From][e.To] = true
+		adjSet[e.To][e.From] = true
+	}
+	d.adj = make([][]int, n)
+	for i, s := range adjSet {
+		for q := range s {
+			d.adj[i] = append(d.adj[i], q)
+		}
+		sort.Ints(d.adj[i])
+	}
+	d.dist = make([][]int, n)
+	for src := 0; src < n; src++ {
+		row := make([]int, n)
+		for i := range row {
+			row[i] = -1
+		}
+		row[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range d.adj[cur] {
+				if row[nb] < 0 {
+					row[nb] = row[cur] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+		d.dist[src] = row
+	}
+	return d, nil
+}
+
+// Melbourne returns the 14-qubit IBM Q Melbourne device with the directed
+// coupling map of the paper's Figure 10 and the §II-E calibration.
+func Melbourne() *Device {
+	edges := []Edge{
+		{1, 0}, {1, 2}, {2, 3}, {4, 3}, {4, 10}, {5, 4}, {5, 6}, {5, 9},
+		{6, 8}, {7, 8}, {9, 8}, {9, 10}, {11, 3}, {11, 10}, {11, 12},
+		{12, 2}, {13, 1}, {13, 12},
+	}
+	d, err := New("ibmq-melbourne", 14, edges, MelbourneCalibration())
+	if err != nil {
+		panic(err) // static data, cannot fail
+	}
+	return d
+}
+
+// Linear returns an n-qubit chain with CX allowed low→high only, useful in
+// tests that need swap insertion and direction fixing.
+func Linear(n int) *Device {
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{i, i + 1})
+	}
+	d, err := New(fmt.Sprintf("linear-%d", n), n, edges, MelbourneCalibration())
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Grid returns a rows×cols lattice with bidirectional CX on every lattice
+// edge.
+func Grid(rows, cols int) *Device {
+	var edges []Edge
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, Edge{id(r, c), id(r, c+1)}, Edge{id(r, c+1), id(r, c)})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{id(r, c), id(r+1, c)}, Edge{id(r+1, c), id(r, c)})
+			}
+		}
+	}
+	d, err := New(fmt.Sprintf("grid-%dx%d", rows, cols), rows*cols, edges, MelbourneCalibration())
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Distance returns the undirected coupling distance between physical qubits
+// a and b (-1 if disconnected).
+func (d *Device) Distance(a, b int) int { return d.dist[a][b] }
+
+// Neighbors returns the sorted undirected neighbor list of a physical qubit.
+func (d *Device) Neighbors(q int) []int { return d.adj[q] }
+
+// Connected reports whether a and b share a coupling (either direction).
+func (d *Device) Connected(a, b int) bool { return d.dist[a][b] == 1 }
+
+// CXDirected reports whether a CX with control c and target t is natively
+// available (the edge exists in that direction).
+func (d *Device) CXDirected(c, t int) bool {
+	for _, e := range d.Edges {
+		if e.From == c && e.To == t {
+			return true
+		}
+	}
+	return false
+}
+
+// UndirectedEdges returns each coupling once with From < To, sorted.
+func (d *Device) UndirectedEdges() []Edge {
+	seen := map[[2]int]bool{}
+	var out []Edge
+	for _, e := range d.Edges {
+		a, b := e.From, e.To
+		if a > b {
+			a, b = b, a
+		}
+		if !seen[[2]int{a, b}] {
+			seen[[2]int{a, b}] = true
+			out = append(out, Edge{a, b})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// EdgeDistance returns the minimum coupling distance between the endpoint
+// sets of two undirected edges: 0 if they share a qubit, 1 if some endpoints
+// are adjacent, etc. This is the "closeness" notion behind the paper's
+// crosstalk indicator I(gm, gn).
+func (d *Device) EdgeDistance(e1, e2 Edge) int {
+	best := -1
+	for _, a := range []int{e1.From, e1.To} {
+		for _, b := range []int{e2.From, e2.To} {
+			dd := d.dist[a][b]
+			if dd >= 0 && (best < 0 || dd < best) {
+				best = dd
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,144 @@
+package topology
+
+import "testing"
+
+func TestMelbourneShape(t *testing.T) {
+	d := Melbourne()
+	if d.NumQubits != 14 {
+		t.Fatalf("NumQubits = %d", d.NumQubits)
+	}
+	if len(d.Edges) != 18 {
+		t.Fatalf("directed edge count = %d, want 18", len(d.Edges))
+	}
+	// Spot-check the published coupling map.
+	if !d.CXDirected(1, 0) {
+		t.Fatal("CX 1→0 should be native")
+	}
+	if d.CXDirected(0, 1) {
+		t.Fatal("CX 0→1 is not native on Melbourne")
+	}
+	if !d.Connected(0, 1) || !d.Connected(13, 12) {
+		t.Fatal("adjacency wrong")
+	}
+	if d.Connected(0, 7) {
+		t.Fatal("0 and 7 are not coupled")
+	}
+}
+
+func TestMelbourneConnectedAndDistances(t *testing.T) {
+	d := Melbourne()
+	for a := 0; a < 14; a++ {
+		for b := 0; b < 14; b++ {
+			dd := d.Distance(a, b)
+			if dd < 0 {
+				t.Fatalf("device disconnected between %d and %d", a, b)
+			}
+			if (dd == 0) != (a == b) {
+				t.Fatalf("Distance(%d,%d) = %d", a, b, dd)
+			}
+			if dd != d.Distance(b, a) {
+				t.Fatal("distance not symmetric")
+			}
+		}
+	}
+	// Qubit 0 to qubit 7: along the two rows. 0-1-13-12-11-10-9-8-7 or
+	// 0-1-2-3-4-5-6-8-7; both length 8. Verify triangle inequality instead
+	// of an exact value for robustness, plus a known short pair.
+	if d.Distance(0, 2) != 2 {
+		t.Fatalf("Distance(0,2) = %d, want 2", d.Distance(0, 2))
+	}
+	for a := 0; a < 14; a++ {
+		for b := 0; b < 14; b++ {
+			for c := 0; c < 14; c++ {
+				if d.Distance(a, c) > d.Distance(a, b)+d.Distance(b, c) {
+					t.Fatal("triangle inequality violated")
+				}
+			}
+		}
+	}
+}
+
+func TestLinearDevice(t *testing.T) {
+	d := Linear(5)
+	if d.Distance(0, 4) != 4 {
+		t.Fatalf("chain distance = %d", d.Distance(0, 4))
+	}
+	if !d.CXDirected(1, 2) || d.CXDirected(2, 1) {
+		t.Fatal("chain direction wrong")
+	}
+	nbrs := d.Neighbors(2)
+	if len(nbrs) != 2 || nbrs[0] != 1 || nbrs[1] != 3 {
+		t.Fatalf("Neighbors(2) = %v", nbrs)
+	}
+}
+
+func TestGridDevice(t *testing.T) {
+	d := Grid(2, 3)
+	if d.NumQubits != 6 {
+		t.Fatal("grid size wrong")
+	}
+	if !d.CXDirected(0, 1) || !d.CXDirected(1, 0) {
+		t.Fatal("grid should be bidirectional")
+	}
+	if d.Distance(0, 5) != 3 {
+		t.Fatalf("grid distance = %d, want 3", d.Distance(0, 5))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("bad", 2, []Edge{{0, 5}}, Calibration{}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := New("bad", 2, []Edge{{1, 1}}, Calibration{}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestUndirectedEdges(t *testing.T) {
+	d := Grid(2, 2)
+	ue := d.UndirectedEdges()
+	if len(ue) != 4 {
+		t.Fatalf("2x2 grid has %d undirected edges, want 4", len(ue))
+	}
+	for _, e := range ue {
+		if e.From >= e.To {
+			t.Fatal("undirected edges must be normalized From<To")
+		}
+	}
+}
+
+func TestEdgeDistance(t *testing.T) {
+	d := Linear(6)
+	if got := d.EdgeDistance(Edge{0, 1}, Edge{1, 2}); got != 0 {
+		t.Fatalf("shared-qubit edges distance = %d, want 0", got)
+	}
+	if got := d.EdgeDistance(Edge{0, 1}, Edge{2, 3}); got != 1 {
+		t.Fatalf("adjacent edges distance = %d, want 1", got)
+	}
+	if got := d.EdgeDistance(Edge{0, 1}, Edge{4, 5}); got != 3 {
+		t.Fatalf("far edges distance = %d, want 3", got)
+	}
+}
+
+func TestMelbourneCalibrationValues(t *testing.T) {
+	c := MelbourneCalibration()
+	if c.T1ns != 57350 || c.T2ns != 61820 {
+		t.Fatal("decoherence times do not match the paper §II-E")
+	}
+	if c.CXLatencyNs != 974.9 || c.CXError != 2.46e-2 {
+		t.Fatal("CX calibration does not match the paper §II-E")
+	}
+}
+
+func TestDisconnectedDistance(t *testing.T) {
+	d, err := New("two-islands", 4, []Edge{{0, 1}, {2, 3}}, Calibration{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Distance(0, 3) != -1 {
+		t.Fatal("expected -1 for disconnected qubits")
+	}
+	if d.EdgeDistance(Edge{0, 1}, Edge{2, 3}) != -1 {
+		t.Fatal("expected -1 for disconnected edges")
+	}
+}

@@ -1,0 +1,217 @@
+// Package workload generates the benchmark programs of the paper's §VI-A:
+// exact QFT circuits, RevLib-style synthetic reversible circuits matching
+// the instruction mixes of Table II, and the 159-program suite whose
+// average mix the table's "all" row reports. RevLib files themselves are
+// not redistributable; what the experiments consume — instruction mix, DAG
+// shape, gate counts — is reproduced deterministically (see DESIGN.md
+// "Substitutions").
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"accqoc/internal/circuit"
+	"accqoc/internal/gate"
+)
+
+// Program is a named benchmark circuit.
+type Program struct {
+	Name    string
+	Circuit *circuit.Circuit
+}
+
+// QFT builds the n-qubit quantum Fourier transform with controlled-phase
+// gates lowered to {u1-as-rz, cx}: cu1(λ) = rz(λ/2)a · cx · rz(−λ/2)b · cx
+// · rz(λ/2)b. Gate counts: n Hadamards, n(n−1) CX, 3n(n−1)/2 RZ. (Table II
+// reports 2 rz per controlled phase for its ScaffCC lowering; the cx column
+// — which dominates latency — matches exactly.)
+func QFT(n int) *Program {
+	c := circuit.New(n)
+	for i := 0; i < n; i++ {
+		c.MustAppend(gate.H, []int{i})
+		for j := i + 1; j < n; j++ {
+			lambda := math.Pi / math.Pow(2, float64(j-i))
+			c.MustAppend(gate.RZ, []int{j}, lambda/2)
+			c.MustAppend(gate.CX, []int{j, i})
+			c.MustAppend(gate.RZ, []int{i}, -lambda/2)
+			c.MustAppend(gate.CX, []int{j, i})
+			c.MustAppend(gate.RZ, []int{i}, lambda/2)
+		}
+	}
+	return &Program{Name: fmt.Sprintf("qft_%d", n), Circuit: c}
+}
+
+// Synthetic generates a deterministic random circuit with exactly the given
+// per-gate counts on the given qubit count — the RevLib-style substitute.
+// Rotation gates draw angles from the 8th-turn lattice typical of
+// reversible-circuit synthesis.
+func Synthetic(name string, qubits int, seed int64, counts map[gate.Name]int) (*Program, error) {
+	if qubits < 2 {
+		return nil, fmt.Errorf("workload: need ≥ 2 qubits, got %d", qubits)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Deterministic expansion of the multiset.
+	names := make([]gate.Name, 0)
+	keys := make([]string, 0, len(counts))
+	for n := range counts {
+		keys = append(keys, string(n))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		n := gate.Name(k)
+		if !gate.Known(n) {
+			return nil, fmt.Errorf("workload: unknown gate %q", k)
+		}
+		for i := 0; i < counts[n]; i++ {
+			names = append(names, n)
+		}
+	}
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+
+	c := circuit.New(qubits)
+	for _, n := range names {
+		spec, _ := gate.Lookup(n)
+		qs := pickQubits(rng, qubits, spec.Qubits)
+		params := make([]float64, spec.Params)
+		for i := range params {
+			params[i] = math.Pi / 4 * float64(1+rng.Intn(7))
+		}
+		if err := c.Append(n, qs, params...); err != nil {
+			return nil, err
+		}
+	}
+	return &Program{Name: name, Circuit: c}, nil
+}
+
+func pickQubits(rng *rand.Rand, n, k int) []int {
+	qs := make([]int, 0, k)
+	seen := map[int]bool{}
+	for len(qs) < k {
+		q := rng.Intn(n)
+		if !seen[q] {
+			seen[q] = true
+			qs = append(qs, q)
+		}
+	}
+	return qs
+}
+
+// namedSpec describes a Table II benchmark row: x, t, h, cx, rz, tdg.
+type namedSpec struct {
+	name   string
+	qubits int
+	seed   int64
+	counts map[gate.Name]int
+}
+
+// tableII mirrors the paper's Table II rows (RevLib names carry their gate
+// count as a suffix: 4gt4-v0_79 etc.). qft rows are generated exactly.
+var tableII = []namedSpec{
+	{"4gt4-v0", 5, 101, map[gate.Name]int{gate.X: 0, gate.T: 56, gate.H: 28, gate.CX: 105, gate.RZ: 0, gate.Tdg: 42}},
+	{"cm152a", 12, 102, map[gate.Name]int{gate.X: 5, gate.T: 304, gate.H: 152, gate.CX: 532, gate.RZ: 0, gate.Tdg: 228}},
+	{"ex2", 7, 103, map[gate.Name]int{gate.X: 5, gate.T: 156, gate.H: 78, gate.CX: 275, gate.RZ: 0, gate.Tdg: 117}},
+	{"f2", 8, 104, map[gate.Name]int{gate.X: 6, gate.T: 300, gate.H: 150, gate.CX: 525, gate.RZ: 0, gate.Tdg: 225}},
+}
+
+// NamedSuite returns the six Table II programs: four RevLib-style synthetic
+// circuits plus qft_10 and qft_16.
+func NamedSuite() []*Program {
+	var out []*Program
+	for _, spec := range tableII {
+		p, err := Synthetic(spec.name, spec.qubits, spec.seed, spec.counts)
+		if err != nil {
+			panic(err) // static specs cannot fail
+		}
+		out = append(out, p)
+	}
+	out = append(out, QFT(10), QFT(16))
+	return out
+}
+
+// suiteMix is the "all" row of Table II: the suite-average instruction mix.
+var suiteMix = []struct {
+	name gate.Name
+	frac float64
+}{
+	{gate.X, 0.001},
+	{gate.T, 0.22},
+	{gate.H, 0.15},
+	{gate.CX, 0.45},
+	{gate.RZ, 0.011},
+	{gate.Tdg, 0.17},
+}
+
+// Random generates one suite-style program: the instruction mix follows the
+// Table II "all" distribution with multinomial jitter.
+func Random(name string, qubits, gates int, seed int64) (*Program, error) {
+	rng := rand.New(rand.NewSource(seed))
+	counts := map[gate.Name]int{}
+	for i := 0; i < gates; i++ {
+		r := rng.Float64()
+		var total float64
+		for _, m := range suiteMix {
+			total += m.frac
+		}
+		r *= total
+		for _, m := range suiteMix {
+			if r < m.frac {
+				counts[m.name]++
+				break
+			}
+			r -= m.frac
+		}
+	}
+	return Synthetic(name, qubits, seed+7, counts)
+}
+
+// FullSuite generates the 159-program benchmark suite: the six named
+// programs plus deterministic random programs of 200–2000 gates on 4–14
+// qubits ("We randomly sampled some quantum programs with between 200 and
+// 2000 gates, and two QFT programs").
+func FullSuite() ([]*Program, error) {
+	out := NamedSuite()
+	rng := rand.New(rand.NewSource(42))
+	for i := len(out); i < 159; i++ {
+		qubits := 4 + rng.Intn(11)    // 4..14
+		gates := 200 + rng.Intn(1801) // 200..2000
+		p, err := Random(fmt.Sprintf("rand_%03d", i), qubits, gates, int64(1000+i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// MixRow is one row of the Table II reproduction.
+type MixRow struct {
+	Name   string
+	Counts map[gate.Name]int
+	Total  int
+}
+
+// TableII computes the instruction-mix table for a set of programs plus
+// the all-programs average fractions (the paper's last row).
+func TableII(programs []*Program) (rows []MixRow, avg map[gate.Name]float64) {
+	grand := map[gate.Name]int{}
+	grandTotal := 0
+	for _, p := range programs {
+		mix := p.Circuit.InstructionMix()
+		row := MixRow{Name: p.Name, Counts: mix, Total: p.Circuit.GateCount()}
+		rows = append(rows, row)
+		for n, c := range mix {
+			grand[n] += c
+		}
+		grandTotal += row.Total
+	}
+	avg = map[gate.Name]float64{}
+	if grandTotal > 0 {
+		for n, c := range grand {
+			avg[n] = float64(c) / float64(grandTotal)
+		}
+	}
+	return rows, avg
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"accqoc/internal/cmat"
+	"accqoc/internal/gate"
+)
+
+func TestQFTGateCounts(t *testing.T) {
+	p := QFT(10)
+	mix := p.Circuit.InstructionMix()
+	if mix[gate.H] != 10 {
+		t.Fatalf("h = %d, want 10", mix[gate.H])
+	}
+	if mix[gate.CX] != 90 {
+		t.Fatalf("cx = %d, want 90 (Table II)", mix[gate.CX])
+	}
+	if mix[gate.RZ] != 135 {
+		t.Fatalf("rz = %d, want 135", mix[gate.RZ])
+	}
+}
+
+func TestQFT2MatchesAnalyticMatrix(t *testing.T) {
+	// QFT on 2 qubits (no output swap): F[j][k] = ω^{jk}/2 with ω = i,
+	// then qubit order reversed. Verify against the circuit unitary by
+	// checking the defining property on basis |00⟩ and unitarity plus
+	// matrix entries of the bit-reversed DFT.
+	p := QFT(2)
+	u, err := p.Circuit.Unitary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmat.IsUnitary(u, 1e-10) {
+		t.Fatal("QFT circuit not unitary")
+	}
+	// DFT matrix with bit-reversed row order (standard no-swap QFT).
+	omega := cmplx.Exp(complex(0, math.Pi/2)) // e^{2πi/4}
+	dft := cmat.New(4, 4)
+	for j := 0; j < 4; j++ {
+		for k := 0; k < 4; k++ {
+			dft.Set(j, k, cmplx.Pow(omega, complex(float64(j*k), 0))/2)
+		}
+	}
+	// Bit reversal on 2 bits swaps indices 1 and 2 (rows).
+	rev := cmat.New(4, 4)
+	perm := []int{0, 2, 1, 3}
+	for i, pi := range perm {
+		rev.Set(pi, i, 1)
+	}
+	want := cmat.Mul(rev, dft)
+	d := float64(4)
+	overlap := cmplx.Abs(cmat.Trace(cmat.Mul(cmat.Dagger(want), u))) / d
+	if math.Abs(overlap-1) > 1e-9 {
+		t.Fatalf("QFT(2) does not match bit-reversed DFT: overlap=%v\n%v", overlap, u)
+	}
+}
+
+func TestSyntheticExactCounts(t *testing.T) {
+	counts := map[gate.Name]int{gate.X: 3, gate.CX: 5, gate.T: 2}
+	p, err := Synthetic("test", 4, 7, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := p.Circuit.InstructionMix()
+	for n, want := range counts {
+		if mix[n] != want {
+			t.Fatalf("%s = %d, want %d", n, mix[n], want)
+		}
+	}
+	if p.Circuit.GateCount() != 10 {
+		t.Fatalf("total = %d", p.Circuit.GateCount())
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	counts := map[gate.Name]int{gate.H: 4, gate.CX: 4}
+	p1, _ := Synthetic("a", 4, 9, counts)
+	p2, _ := Synthetic("a", 4, 9, counts)
+	if p1.Circuit.GateCount() != p2.Circuit.GateCount() {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range p1.Circuit.Gates {
+		g1, g2 := p1.Circuit.Gates[i], p2.Circuit.Gates[i]
+		if g1.Name != g2.Name || g1.Qubits[0] != g2.Qubits[0] {
+			t.Fatal("nondeterministic content")
+		}
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	if _, err := Synthetic("bad", 1, 1, map[gate.Name]int{gate.CX: 1}); err == nil {
+		t.Fatal("1 qubit with CX accepted")
+	}
+	if _, err := Synthetic("bad", 4, 1, map[gate.Name]int{"bogus": 1}); err == nil {
+		t.Fatal("unknown gate accepted")
+	}
+}
+
+func TestNamedSuiteMatchesTableII(t *testing.T) {
+	suite := NamedSuite()
+	if len(suite) != 6 {
+		t.Fatalf("named suite = %d programs, want 6", len(suite))
+	}
+	byName := map[string]*Program{}
+	for _, p := range suite {
+		byName[p.Name] = p
+	}
+	// cm152a row: x=5 t=304 h=152 cx=532 rz=0 tdg=228 (total 1221).
+	cm := byName["cm152a"]
+	if cm == nil {
+		t.Fatal("cm152a missing")
+	}
+	mix := cm.Circuit.InstructionMix()
+	if mix[gate.T] != 304 || mix[gate.CX] != 532 || mix[gate.Tdg] != 228 || cm.Circuit.GateCount() != 1221 {
+		t.Fatalf("cm152a mix = %v", mix)
+	}
+	// qft_16: 240 CX per Table II.
+	qft16 := byName["qft_16"]
+	if qft16.Circuit.InstructionMix()[gate.CX] != 240 {
+		t.Fatal("qft_16 cx count wrong")
+	}
+}
+
+func TestRandomMixApproximatesSuiteAverage(t *testing.T) {
+	p, err := Random("r", 10, 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := p.Circuit.InstructionMix()
+	total := float64(p.Circuit.GateCount())
+	if math.Abs(float64(mix[gate.CX])/total-0.45) > 0.05 {
+		t.Fatalf("cx fraction = %v, want ≈ 0.45", float64(mix[gate.CX])/total)
+	}
+	if math.Abs(float64(mix[gate.T])/total-0.22) > 0.05 {
+		t.Fatalf("t fraction = %v, want ≈ 0.22", float64(mix[gate.T])/total)
+	}
+}
+
+func TestFullSuite(t *testing.T) {
+	suite, err := FullSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 159 {
+		t.Fatalf("suite = %d programs, want 159 (§VI-A)", len(suite))
+	}
+	names := map[string]bool{}
+	for _, p := range suite {
+		if names[p.Name] {
+			t.Fatalf("duplicate program name %s", p.Name)
+		}
+		names[p.Name] = true
+		// qft_16 is the one program beyond Melbourne's 14 qubits (the
+		// paper carries the same tension); everything else must map.
+		if p.Circuit.NumQubits > 14 && p.Name != "qft_16" {
+			t.Fatalf("%s exceeds the 14-qubit Melbourne device", p.Name)
+		}
+		if p.Circuit.GateCount() == 0 {
+			t.Fatalf("%s is empty", p.Name)
+		}
+	}
+}
+
+func TestTableIIReport(t *testing.T) {
+	rows, avg := TableII(NamedSuite())
+	if len(rows) != 6 {
+		t.Fatal("row count")
+	}
+	// CX should be the plurality gate overall, as in the paper (45%).
+	if avg[gate.CX] < 0.3 {
+		t.Fatalf("cx average fraction = %v, want the dominant share", avg[gate.CX])
+	}
+}

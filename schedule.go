@@ -1,0 +1,134 @@
+package accqoc
+
+import (
+	"fmt"
+	"sort"
+
+	"accqoc/internal/circuit"
+	"accqoc/internal/gatepulse"
+	"accqoc/internal/latency"
+	"accqoc/internal/pulse"
+)
+
+// ScheduledPulse is one group's pulse placed on the program timeline.
+type ScheduledPulse struct {
+	// Group indexes into Schedule.Result.Grouping.Groups.
+	Group int
+	// Qubits are the physical qubits the pulse drives.
+	Qubits []int
+	// StartNs is the ASAP start time from Algorithm 3.
+	StartNs float64
+	// Pulse is the channel-correct waveform (qubit-permuted when the
+	// library's canonical orientation is mirrored). Nil for groups that
+	// failed to train and fall back to gate-based execution.
+	Pulse *pulse.Pulse
+	// DurationNs is the group's latency (pulse duration, or the
+	// gate-based fallback price).
+	DurationNs float64
+}
+
+// Schedule holds a fully scheduled program.
+type Schedule struct {
+	Result *CompileResult
+	Pulses []ScheduledPulse
+	// MakespanNs equals Result.OverallLatencyNs.
+	MakespanNs float64
+}
+
+// BuildSchedule compiles a program and lays its group pulses out on the
+// timeline: each group starts when its DAG predecessors finish. This is
+// the artifact a control stack would hand to the waveform generators.
+func (c *Compiler) BuildSchedule(prog *circuit.Circuit) (*Schedule, error) {
+	res, err := c.Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	gr := res.Grouping
+	durations := make([]float64, len(gr.Groups))
+	pulses := make([]*pulse.Pulse, len(gr.Groups))
+	for i, g := range gr.Groups {
+		u, uerr := g.Unitary()
+		if uerr != nil {
+			return nil, uerr
+		}
+		if p, ok := c.lib.PulseFor(u); ok {
+			pulses[i] = p
+			durations[i] = p.Duration()
+			continue
+		}
+		// Gate-based fallback pricing, consistent with Compile.
+		var sum float64
+		for _, inst := range g.Gates {
+			sum += gatepulse.GateLatency(inst.Name, c.opts.Device.Calibration)
+		}
+		durations[i] = sum
+	}
+	starts, overall, err := latency.Schedule(gr, func(i int) (float64, error) {
+		return durations[i], nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sched := &Schedule{Result: res, MakespanNs: overall}
+	for i := range gr.Groups {
+		sched.Pulses = append(sched.Pulses, ScheduledPulse{
+			Group:      i,
+			Qubits:     append([]int(nil), gr.Groups[i].Qubits...),
+			StartNs:    starts[i],
+			Pulse:      pulses[i],
+			DurationNs: durations[i],
+		})
+	}
+	sort.Slice(sched.Pulses, func(a, b int) bool {
+		if sched.Pulses[a].StartNs != sched.Pulses[b].StartNs {
+			return sched.Pulses[a].StartNs < sched.Pulses[b].StartNs
+		}
+		return sched.Pulses[a].Group < sched.Pulses[b].Group
+	})
+	return sched, nil
+}
+
+// Validate checks the schedule's structural invariants: no overlapping
+// pulses on one qubit, dependencies respected, makespan consistent.
+func (s *Schedule) Validate() error {
+	gr := s.Result.Grouping
+	start := make([]float64, len(gr.Groups))
+	end := make([]float64, len(gr.Groups))
+	for _, sp := range s.Pulses {
+		start[sp.Group] = sp.StartNs
+		end[sp.Group] = sp.StartNs + sp.DurationNs
+	}
+	for i := range gr.Groups {
+		for _, p := range gr.Preds[i] {
+			if start[i] < end[p]-1e-9 {
+				return fmt.Errorf("accqoc: schedule violates dependency %d→%d", p, i)
+			}
+		}
+	}
+	// Per-qubit exclusivity.
+	type span struct{ s, e float64 }
+	byQubit := map[int][]span{}
+	for _, sp := range s.Pulses {
+		for _, q := range sp.Qubits {
+			byQubit[q] = append(byQubit[q], span{sp.StartNs, sp.StartNs + sp.DurationNs})
+		}
+	}
+	for q, spans := range byQubit {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].s < spans[j].s })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].s < spans[i-1].e-1e-9 {
+				return fmt.Errorf("accqoc: overlapping pulses on qubit %d", q)
+			}
+		}
+	}
+	var maxEnd float64
+	for _, e := range end {
+		if e > maxEnd {
+			maxEnd = e
+		}
+	}
+	if maxEnd > s.MakespanNs+1e-9 {
+		return fmt.Errorf("accqoc: makespan %v below last pulse end %v", s.MakespanNs, maxEnd)
+	}
+	return nil
+}

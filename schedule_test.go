@@ -1,0 +1,64 @@
+package accqoc
+
+import (
+	"testing"
+
+	"accqoc/internal/circuit"
+	"accqoc/internal/topology"
+)
+
+func TestBuildScheduleValidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	comp := New(fastOptions(topology.Linear(3)))
+	sched, err := comp.BuildSchedule(smallProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Pulses) != len(sched.Result.Grouping.Groups) {
+		t.Fatalf("schedule has %d pulses for %d groups",
+			len(sched.Pulses), len(sched.Result.Grouping.Groups))
+	}
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sched.MakespanNs != sched.Result.OverallLatencyNs {
+		t.Fatalf("makespan %v != compile latency %v",
+			sched.MakespanNs, sched.Result.OverallLatencyNs)
+	}
+	// Pulses are sorted by start time.
+	for i := 1; i < len(sched.Pulses); i++ {
+		if sched.Pulses[i].StartNs < sched.Pulses[i-1].StartNs {
+			t.Fatal("schedule not sorted by start time")
+		}
+	}
+	// All trained groups carry a waveform.
+	for _, sp := range sched.Pulses {
+		if sp.Pulse == nil {
+			continue
+		}
+		if sp.Pulse.Duration() != sp.DurationNs {
+			t.Fatalf("pulse duration %v disagrees with slot %v",
+				sp.Pulse.Duration(), sp.DurationNs)
+		}
+	}
+}
+
+func newEmpty(n int) *circuit.Circuit { return circuit.New(n) }
+
+func TestScheduleEmptyProgram(t *testing.T) {
+	comp := New(fastOptions(topology.Linear(2)))
+	sched, err := comp.BuildSchedule(newEmpty(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Pulses) != 0 || sched.MakespanNs != 0 {
+		t.Fatalf("empty schedule: %+v", sched)
+	}
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newEmpty builds an empty circuit (helper kept beside its only use).

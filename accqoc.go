@@ -47,10 +47,18 @@ import (
 // defaults: the IBM Melbourne device, the map2b4l policy (the paper's best,
 // §VI), crosstalk-aware mapping, and the fidelity1 similarity function.
 type Options struct {
-	Device     *topology.Device
-	Policy     grouping.Policy
-	Mapping    mapping.Options
-	Precompile precompile.Config
+	Device *topology.Device
+	Policy grouping.Policy
+	// Mapping tunes the A* mapper. Its CrosstalkAware field is derived
+	// from DisableCrosstalkAware below and any value set here is
+	// overwritten; the other fields pass through.
+	Mapping mapping.Options
+	// DisableCrosstalkAware opts out of the default crosstalk-aware
+	// mapping. The explicit flag exists because Mapping.CrosstalkAware's
+	// zero value is indistinguishable from "use the default": with this
+	// flag false (the default), crosstalk-aware mapping is always on.
+	DisableCrosstalkAware bool
+	Precompile            precompile.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -60,9 +68,7 @@ func (o Options) withDefaults() Options {
 	if o.Policy.Name == "" {
 		o.Policy = grouping.Map2b4l
 	}
-	if o.Mapping.CrosstalkWeight == 0 {
-		o.Mapping.CrosstalkAware = true
-	}
+	o.Mapping.CrosstalkAware = !o.DisableCrosstalkAware
 	return o
 }
 
@@ -156,9 +162,7 @@ func (c *Compiler) Profile(programs []*circuit.Circuit) (*ProfileResult, error) 
 		return nil, err
 	}
 	// Merge into the live library (later profiles extend earlier ones).
-	for k, e := range lib.Entries {
-		c.lib.Entries[k] = e
-	}
+	c.lib.Merge(lib)
 	return &ProfileResult{Programs: len(programs), UniqueGroups: len(uniq), Stats: stats}, nil
 }
 
@@ -183,9 +187,7 @@ func (c *Compiler) ProfileParallel(programs []*circuit.Circuit, workers int) (*P
 	if err != nil {
 		return nil, err
 	}
-	for k, e := range res.Library.Entries {
-		c.lib.Entries[k] = e
-	}
+	c.lib.Merge(res.Library)
 	return &ProfileResult{Programs: len(programs), UniqueGroups: len(uniq), Stats: res.Stats}, nil
 }
 

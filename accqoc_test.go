@@ -7,6 +7,7 @@ import (
 	"accqoc/internal/gate"
 	"accqoc/internal/grape"
 	"accqoc/internal/grouping"
+	"accqoc/internal/mapping"
 	"accqoc/internal/precompile"
 	"accqoc/internal/topology"
 )
@@ -47,6 +48,24 @@ func TestNewDefaults(t *testing.T) {
 	}
 	if !c.Options().Mapping.CrosstalkAware {
 		t.Fatal("crosstalk-aware mapping should default on")
+	}
+}
+
+func TestDisableCrosstalkAware(t *testing.T) {
+	c := New(Options{DisableCrosstalkAware: true})
+	if c.Options().Mapping.CrosstalkAware {
+		t.Fatal("DisableCrosstalkAware must switch crosstalk-aware mapping off")
+	}
+	// A custom weight alone must not flip the opt-out back on (the old
+	// behavior overloaded CrosstalkWeight == 0 as the enable condition).
+	c = New(Options{DisableCrosstalkAware: true, Mapping: mapping.Options{CrosstalkWeight: 1.5}})
+	if c.Options().Mapping.CrosstalkAware {
+		t.Fatal("custom CrosstalkWeight must not override the opt-out")
+	}
+	// And with a custom weight but no opt-out, the default still applies.
+	c = New(Options{Mapping: mapping.Options{CrosstalkWeight: 1.5}})
+	if !c.Options().Mapping.CrosstalkAware {
+		t.Fatal("custom CrosstalkWeight must keep the crosstalk-aware default")
 	}
 }
 

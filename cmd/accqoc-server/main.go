@@ -1,0 +1,161 @@
+// Command accqoc-server runs the AccQOC pulse-compilation service: an HTTP
+// JSON API over a shared, sharded pulse library. Programs arrive as
+// OpenQASM 2.0 or workload specs on POST /v1/compile; groups already in
+// the library are served warm, uncovered groups are GRAPE-trained exactly
+// once even under concurrent duplicate requests, and the library survives
+// restarts through versioned snapshots.
+//
+// Usage:
+//
+//	accqoc-server -addr :8080 -lib pulses.snap
+//	accqoc-server -device linear16 -policy swap2b3l -workers 8 -capacity 4096
+//
+// The snapshot is loaded at boot (if present), saved on SIGINT/SIGTERM
+// shutdown, and optionally saved on a timer with -snapshot-every.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"accqoc"
+	"accqoc/internal/grape"
+	"accqoc/internal/grouping"
+	"accqoc/internal/libstore"
+	"accqoc/internal/precompile"
+	"accqoc/internal/server"
+	"accqoc/internal/topology"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	policyName := flag.String("policy", "map2b4l", "grouping policy: map2b2l|map2b3l|map2b4l|swap2b2l|swap2b3l|swap2b4l")
+	deviceName := flag.String("device", "melbourne", "device: melbourne | linear<N> | grid<R>x<C>")
+	libPath := flag.String("lib", "", "library snapshot path (loaded at boot, saved at shutdown)")
+	format := flag.String("lib-format", "gob", "snapshot payload format: gob | json")
+	snapshotEvery := flag.Duration("snapshot-every", 0, "also save the snapshot periodically (0 disables)")
+	workers := flag.Int("workers", 0, "concurrent compilations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "pending-request queue depth (full queue answers 503)")
+	capacity := flag.Int("capacity", 0, "library entry capacity, LRU-evicted beyond it (0 = unlimited)")
+	shards := flag.Int("shards", 16, "library shard count")
+	maxGates := flag.Int("max-gates", 4096, "per-request gate budget")
+	fidelity := flag.Float64("fidelity", 1e-3, "GRAPE target infidelity")
+	maxIter := flag.Int("max-iter", 600, "GRAPE iteration cap per optimization")
+	flag.Parse()
+
+	policy, err := grouping.PolicyByName(*policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := parseDevice(*deviceName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var snapFormat libstore.Format
+	switch *format {
+	case "gob":
+		snapFormat = libstore.FormatGob
+	case "json":
+		snapFormat = libstore.FormatJSON
+	default:
+		log.Fatalf("unknown -lib-format %q (want gob or json)", *format)
+	}
+
+	store := libstore.New(libstore.Options{Shards: *shards, Capacity: *capacity})
+	if *libPath != "" {
+		n, lerr := store.LoadInto(*libPath)
+		switch {
+		case lerr == nil:
+			log.Printf("loaded %d library pulses from %s", n, *libPath)
+		case os.IsNotExist(lerr):
+			log.Printf("no snapshot at %s yet; starting cold", *libPath)
+		default:
+			log.Fatalf("snapshot load: %v", lerr)
+		}
+	}
+
+	srv := server.New(server.Config{
+		Compile: accqoc.Options{
+			Device: dev,
+			Policy: policy,
+			Precompile: precompile.Config{
+				Grape: grape.Options{TargetInfidelity: *fidelity, MaxIterations: *maxIter},
+			},
+		},
+		Store:      store,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		MaxGates:   *maxGates,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	save := func(reason string) {
+		if *libPath == "" {
+			return
+		}
+		if err := store.SaveSnapshot(*libPath, snapFormat); err != nil {
+			log.Printf("snapshot save (%s): %v", reason, err)
+			return
+		}
+		log.Printf("saved %d library pulses to %s (%s)", store.Len(), *libPath, reason)
+	}
+
+	if *snapshotEvery > 0 && *libPath != "" {
+		go func() {
+			tick := time.NewTicker(*snapshotEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					save("periodic")
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	go func() {
+		log.Printf("accqoc-server listening on %s (device %s, policy %s, %d shards)",
+			*addr, dev.Name, policy.Name, *shards)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	<-ctx.Done()
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	srv.Close()
+	save("shutdown")
+}
+
+func parseDevice(name string) (*topology.Device, error) {
+	if name == "melbourne" {
+		return topology.Melbourne(), nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "linear%d", &n); err == nil && n > 1 {
+		return topology.Linear(n), nil
+	}
+	var r, c int
+	if _, err := fmt.Sscanf(name, "grid%dx%d", &r, &c); err == nil && r > 0 && c > 0 {
+		return topology.Grid(r, c), nil
+	}
+	return nil, fmt.Errorf("unknown device %q", name)
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"accqoc/internal/server"
+)
+
+// runClient drives a running accqoc-server: it sends the same compile
+// request n times with the given concurrency and reports how request
+// latency collapses once the pulse library is warm, then prints the
+// server's /v1/library/stats.
+func runClient(baseURL, inPath, workloadSpec string, n, concurrency int) error {
+	var req server.CompileRequest
+	switch {
+	case inPath != "" && workloadSpec != "":
+		return fmt.Errorf("set exactly one of -in, -workload")
+	case inPath != "":
+		src, err := os.ReadFile(inPath)
+		if err != nil {
+			return err
+		}
+		req.QASM = string(src)
+	case workloadSpec != "":
+		req.Workload = workloadSpec
+	default:
+		return fmt.Errorf("client mode needs -in or -workload")
+	}
+	if n < 1 {
+		n = 1
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+
+	type sample struct {
+		idx   int
+		wall  time.Duration
+		resp  server.CompileResponse
+		err   error
+		debug string
+	}
+	samples := make([]sample, n)
+
+	// The first request runs alone so the cold-path cost is unambiguous;
+	// the rest fan out with the requested concurrency against the now-warm
+	// (or warming) library.
+	post := func(i int) {
+		start := time.Now()
+		resp, err := http.Post(baseURL+"/v1/compile", "application/json", bytes.NewReader(body))
+		s := sample{idx: i, wall: time.Since(start)}
+		if err != nil {
+			s.err = err
+		} else {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				raw, _ := io.ReadAll(resp.Body)
+				s.err = fmt.Errorf("status %d", resp.StatusCode)
+				s.debug = string(raw)
+			} else if derr := json.NewDecoder(resp.Body).Decode(&s.resp); derr != nil {
+				s.err = derr
+			}
+		}
+		samples[i] = s
+	}
+
+	post(0)
+	if samples[0].err != nil {
+		return fmt.Errorf("request 0: %w (%s)", samples[0].err, samples[0].debug)
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, concurrency)
+	loadStart := time.Now()
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			post(i)
+		}(i)
+	}
+	wg.Wait()
+	loadElapsed := time.Since(loadStart)
+
+	cold := samples[0]
+	fmt.Printf("cold request: %v wall, %.1f ms compile, coverage %.0f%%, %d groups trained\n",
+		cold.wall.Round(time.Millisecond), cold.resp.CompileMillis,
+		100*cold.resp.CoverageRate, cold.resp.UncoveredUnique)
+
+	var warm []time.Duration
+	warmServed := 0
+	failed := 0
+	for _, s := range samples[1:] {
+		if s.err != nil {
+			failed++
+			continue
+		}
+		warm = append(warm, s.wall)
+		if s.resp.WarmServed {
+			warmServed++
+		}
+	}
+	if len(warm) > 0 {
+		sort.Slice(warm, func(i, j int) bool { return warm[i] < warm[j] })
+		median := warm[len(warm)/2]
+		fmt.Printf("warm requests: %d sent with concurrency %d in %v (%d warm-served, %d failed)\n",
+			len(warm)+failed, concurrency, loadElapsed.Round(time.Millisecond), warmServed, failed)
+		fmt.Printf("warm latency: median %v, p0 %v, p100 %v\n",
+			median.Round(time.Microsecond), warm[0].Round(time.Microsecond), warm[len(warm)-1].Round(time.Microsecond))
+		if median > 0 {
+			fmt.Printf("cold/warm speedup: %.1fx\n", float64(cold.wall)/float64(median))
+		}
+	}
+
+	stats, err := fetchStats(baseURL)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("library: %d entries, %d hits, %d misses, %d trainings, %d deduped, %d evictions\n",
+		stats.Library.Entries, stats.Library.Hits, stats.Library.Misses,
+		stats.Library.Trainings, stats.Library.DedupSuppressed, stats.Library.Evictions)
+	fmt.Printf("server:  %d requests, %d failures, %d rejected, %.1f ms total compile, up %.0fs\n",
+		stats.Server.Requests, stats.Server.Failures, stats.Server.Rejected,
+		stats.Server.TotalCompileMillis, stats.Server.UptimeSeconds)
+	return nil
+}
+
+func fetchStats(baseURL string) (*server.StatsResponse, error) {
+	resp, err := http.Get(baseURL + "/v1/library/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

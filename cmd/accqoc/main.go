@@ -6,6 +6,12 @@
 //	accqoc -in program.qasm                      # compile cold
 //	accqoc -in program.qasm -lib pulses.json     # use / extend a library
 //	accqoc -in program.qasm -policy swap2b3l -device linear16
+//
+// With -server it becomes a load-generating client against a running
+// accqoc-server, demonstrating the warm-cache speedup end to end:
+//
+//	accqoc -server http://localhost:8080 -in program.qasm -requests 20 -concurrency 4
+//	accqoc -server http://localhost:8080 -workload qft:4 -requests 10
 package main
 
 import (
@@ -27,15 +33,25 @@ func gopts(fidelity float64, maxIter int) grape.Options {
 }
 
 func main() {
-	in := flag.String("in", "", "input OpenQASM 2.0 file (required)")
+	in := flag.String("in", "", "input OpenQASM 2.0 file (required unless -workload)")
 	policyName := flag.String("policy", "map2b4l", "grouping policy (see Table I): map2b2l|map2b3l|map2b4l|swap2b2l|swap2b3l|swap2b4l")
 	deviceName := flag.String("device", "melbourne", "device: melbourne | linear<N> | grid<R>x<C>")
 	libPath := flag.String("lib", "", "pulse library JSON to load and update")
 	fidelity := flag.Float64("fidelity", 1e-3, "GRAPE target infidelity")
 	maxIter := flag.Int("max-iter", 600, "GRAPE iteration cap per optimization")
 	verbose := flag.Bool("v", false, "print group-level detail")
+	serverURL := flag.String("server", "", "accqoc-server base URL; switches to client/loadgen mode")
+	workloadSpec := flag.String("workload", "", "workload spec for -server mode (qft:N | named:NAME | random:Q:G:S)")
+	requests := flag.Int("requests", 10, "number of requests to send in -server mode")
+	concurrency := flag.Int("concurrency", 4, "concurrent in-flight requests in -server mode")
 	flag.Parse()
 
+	if *serverURL != "" {
+		if err := runClient(*serverURL, *in, *workloadSpec, *requests, *concurrency); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)

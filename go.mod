@@ -1,0 +1,3 @@
+module accqoc
+
+go 1.24

@@ -408,13 +408,28 @@ type UniqueGroup struct {
 // Deduplicate collapses group occurrences by canonical matrix key and
 // counts frequencies, most frequent first (§IV-C, §IV-G).
 func Deduplicate(groups []*Group) ([]*UniqueGroup, error) {
-	byKey := map[string]*UniqueGroup{}
-	var order []string
-	for _, g := range groups {
+	keys := make([]string, len(groups))
+	for i, g := range groups {
 		k, err := g.Key()
 		if err != nil {
 			return nil, err
 		}
+		keys[i] = k
+	}
+	out := DeduplicateKeyed(groups, keys)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out, nil
+}
+
+// DeduplicateKeyed collapses group occurrences using precomputed canonical
+// keys (keys[i] belongs to groups[i]), preserving first-occurrence order.
+// Callers that already paid for the unitaries (e.g. the serving path) use
+// this to avoid recomputing them.
+func DeduplicateKeyed(groups []*Group, keys []string) []*UniqueGroup {
+	byKey := map[string]*UniqueGroup{}
+	var order []string
+	for i, g := range groups {
+		k := keys[i]
 		if u, ok := byKey[k]; ok {
 			u.Count++
 			continue
@@ -426,6 +441,5 @@ func Deduplicate(groups []*Group) ([]*UniqueGroup, error) {
 	for _, k := range order {
 		out = append(out, byKey[k])
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
-	return out, nil
+	return out
 }

@@ -1,0 +1,195 @@
+package libstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"accqoc/internal/precompile"
+)
+
+// Snapshot file layout:
+//
+//	4 bytes  magic "AQLS"
+//	1 byte   snapshot version
+//	1 byte   payload format (FormatGob | FormatJSON)
+//	4 bytes  IEEE CRC-32 of the payload, little-endian
+//	payload  the encoded precompile.Library
+//
+// The checksum matters: random corruption inside gob-encoded float64
+// amplitudes can decode into a structurally valid library with silently
+// wrong pulses, so structural validation alone cannot catch it.
+//
+// Saves are atomic: the payload is written to a temp file in the target
+// directory, synced, and renamed over the destination, so a crash mid-save
+// never corrupts an existing snapshot.
+
+// Format selects the snapshot payload encoding.
+type Format byte
+
+const (
+	// FormatGob is the compact binary encoding (via pulse.GobEncode's
+	// versioned layout). Preferred for large libraries.
+	FormatGob Format = 1
+	// FormatJSON is the human-inspectable encoding, interchangeable with
+	// precompile.Library.Save output (payload only, without the header).
+	FormatJSON Format = 2
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatGob:
+		return "gob"
+	case FormatJSON:
+		return "json"
+	default:
+		return fmt.Sprintf("format(%d)", byte(f))
+	}
+}
+
+var snapshotMagic = [4]byte{'A', 'Q', 'L', 'S'}
+
+const snapshotVersion = 1
+
+// ErrCorrupt tags snapshot decode failures; errors.Is(err, ErrCorrupt)
+// distinguishes a damaged file from an absent one.
+var ErrCorrupt = errors.New("libstore: corrupt snapshot")
+
+// headerLen is magic + version + format + crc32.
+const headerLen = 4 + 1 + 1 + 4
+
+// EncodeSnapshot renders a library in the versioned snapshot layout.
+func EncodeSnapshot(lib *precompile.Library, format Format) ([]byte, error) {
+	var payload bytes.Buffer
+	switch format {
+	case FormatGob:
+		if err := gob.NewEncoder(&payload).Encode(lib); err != nil {
+			return nil, fmt.Errorf("libstore: gob encode: %w", err)
+		}
+	case FormatJSON:
+		data, err := json.Marshal(lib)
+		if err != nil {
+			return nil, fmt.Errorf("libstore: json encode: %w", err)
+		}
+		payload.Write(data)
+	default:
+		return nil, fmt.Errorf("libstore: unknown snapshot format %d", format)
+	}
+	out := make([]byte, headerLen, headerLen+payload.Len())
+	copy(out, snapshotMagic[:])
+	out[4] = snapshotVersion
+	out[5] = byte(format)
+	binary.LittleEndian.PutUint32(out[6:10], crc32.ChecksumIEEE(payload.Bytes()))
+	return append(out, payload.Bytes()...), nil
+}
+
+// DecodeSnapshot parses a snapshot produced by EncodeSnapshot, validating
+// the header and every entry's pulse.
+func DecodeSnapshot(data []byte) (*precompile.Library, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes, want ≥ %d", ErrCorrupt, len(data), headerLen)
+	}
+	if !bytes.Equal(data[:4], snapshotMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	if v := data[4]; v != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrCorrupt, v, snapshotVersion)
+	}
+	format := Format(data[5])
+	payload := data[headerLen:]
+	if want, got := binary.LittleEndian.Uint32(data[6:10]), crc32.ChecksumIEEE(payload); want != got {
+		return nil, fmt.Errorf("%w: payload checksum %08x, header says %08x", ErrCorrupt, got, want)
+	}
+	lib := precompile.NewLibrary()
+	switch format {
+	case FormatGob:
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(lib); err != nil {
+			return nil, fmt.Errorf("%w: gob payload: %v", ErrCorrupt, err)
+		}
+	case FormatJSON:
+		if err := json.Unmarshal(payload, lib); err != nil {
+			return nil, fmt.Errorf("%w: json payload: %v", ErrCorrupt, err)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown format byte %d", ErrCorrupt, byte(format))
+	}
+	for key, e := range lib.Entries {
+		if e == nil || e.Pulse == nil {
+			return nil, fmt.Errorf("%w: entry %q has no pulse", ErrCorrupt, key)
+		}
+		if e.Key != key {
+			// The map key is the content address; an entry filed under a
+			// different key would be silently re-keyed by Store.AddLibrary
+			// and served for the wrong group.
+			return nil, fmt.Errorf("%w: entry filed under %q carries key %q", ErrCorrupt, key, e.Key)
+		}
+		if err := e.Pulse.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: entry %q: %v", ErrCorrupt, key, err)
+		}
+	}
+	return lib, nil
+}
+
+// SaveSnapshot atomically writes the store's current entries to path.
+func (s *Store) SaveSnapshot(path string, format Format) error {
+	return SaveLibrary(s.Snapshot(), path, format)
+}
+
+// SaveLibrary atomically writes a library snapshot to path.
+func SaveLibrary(lib *precompile.Library, path string, format Format) error {
+	data, err := EncodeSnapshot(lib, format)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("libstore: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("libstore: snapshot write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("libstore: snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("libstore: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("libstore: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads a snapshot file into a fresh library.
+func LoadSnapshot(path string) (*precompile.Library, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return lib, nil
+}
+
+// LoadInto reads a snapshot file and merges its entries into the store.
+// It returns the number of entries loaded.
+func (s *Store) LoadInto(path string) (int, error) {
+	lib, err := LoadSnapshot(path)
+	if err != nil {
+		return 0, err
+	}
+	s.AddLibrary(lib)
+	return len(lib.Entries), nil
+}

@@ -1,0 +1,312 @@
+// Package libstore provides the shared, long-lived pulse-library artifact
+// of the AccQOC workflow (§IV/§V): a sharded, mutex-striped,
+// content-addressed store of trained pulses. Where precompile.Library is a
+// plain map for single-threaded batch builds, Store is the serving-side
+// wrapper: concurrent lookups stripe across shards, capacity is bounded by
+// per-shard LRU eviction, hit/miss/eviction/training counters feed the
+// server's /v1/library/stats endpoint, and GetOrTrain deduplicates
+// concurrent requests for the same uncompiled gate group so exactly one
+// GRAPE training runs per key (singleflight).
+package libstore
+
+import (
+	"container/list"
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"accqoc/internal/precompile"
+)
+
+// Options configures a Store. The zero value selects 16 shards and
+// unlimited capacity.
+type Options struct {
+	// Shards is the stripe count, rounded up to a power of two. More
+	// shards mean less lock contention at a small fixed memory cost.
+	Shards int
+	// Capacity approximately bounds the entry count. It is enforced per
+	// shard at ceil(Capacity/Shards) entries with LRU eviction, so the
+	// effective total bound is that value times the shard count (up to
+	// one extra entry per shard over Capacity), and a shard whose keys
+	// hash hot can evict while the store as a whole is under Capacity.
+	// 0 means unlimited.
+	Capacity int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	// Round up to a power of two so shard selection is a mask.
+	n := 1
+	for n < o.Shards {
+		n <<= 1
+	}
+	o.Shards = n
+	if o.Capacity < 0 {
+		o.Capacity = 0
+	}
+	return o
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Inserts   int64 `json:"inserts"`
+	// Trainings counts GetOrTrain compute invocations that actually ran.
+	Trainings int64 `json:"trainings"`
+	// DedupSuppressed counts GetOrTrain callers that piggybacked on an
+	// in-flight training instead of starting their own.
+	DedupSuppressed int64 `json:"dedup_suppressed"`
+	// TrainFailures counts compute invocations that returned an error
+	// (the group stays uncovered; callers price it gate-based).
+	TrainFailures int64 `json:"train_failures"`
+}
+
+// Store is a sharded concurrent pulse-library store. Entries are treated
+// as immutable once stored: callers must not mutate a returned *Entry.
+type Store struct {
+	opts     Options
+	seed     maphash.Seed
+	shards   []*shard
+	perShard int // per-shard LRU capacity, 0 = unlimited
+
+	hits, misses, evictions, inserts atomic.Int64
+	trainings, dedup, trainFailures  atomic.Int64
+}
+
+type shard struct {
+	mu     sync.Mutex
+	items  map[string]*list.Element // value: *node
+	lru    *list.List               // front = most recently used
+	flight map[string]*flightCall
+}
+
+type node struct {
+	key   string
+	entry *precompile.Entry
+}
+
+type flightCall struct {
+	done  chan struct{}
+	entry *precompile.Entry
+	err   error
+}
+
+// New returns an empty store.
+func New(opts Options) *Store {
+	opts = opts.withDefaults()
+	s := &Store{
+		opts:   opts,
+		seed:   maphash.MakeSeed(),
+		shards: make([]*shard, opts.Shards),
+	}
+	if opts.Capacity > 0 {
+		s.perShard = (opts.Capacity + opts.Shards - 1) / opts.Shards
+		if s.perShard < 1 {
+			s.perShard = 1
+		}
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			items:  map[string]*list.Element{},
+			lru:    list.New(),
+			flight: map[string]*flightCall{},
+		}
+	}
+	return s
+}
+
+// FromLibrary returns a store pre-populated with a library's entries (for
+// example one loaded from a snapshot).
+func FromLibrary(lib *precompile.Library, opts Options) *Store {
+	s := New(opts)
+	s.AddLibrary(lib)
+	return s
+}
+
+func (s *Store) shardFor(key string) *shard {
+	h := maphash.String(s.seed, key)
+	return s.shards[h&uint64(len(s.shards)-1)]
+}
+
+// Get returns the entry for a canonical group key, counting a hit or miss
+// and refreshing LRU recency.
+func (s *Store) Get(key string) (*precompile.Entry, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	var entry *precompile.Entry
+	el, ok := sh.items[key]
+	if ok {
+		sh.lru.MoveToFront(el)
+		// Read under the lock: Put replaces node.entry in place.
+		entry = el.Value.(*node).entry
+	}
+	sh.mu.Unlock()
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return entry, true
+}
+
+// Contains reports coverage without touching hit/miss counters or LRU
+// order (used for stats-neutral inspection).
+func (s *Store) Contains(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	_, ok := sh.items[key]
+	sh.mu.Unlock()
+	return ok
+}
+
+// Put inserts or replaces an entry under its own key.
+func (s *Store) Put(e *precompile.Entry) {
+	if e == nil {
+		return
+	}
+	sh := s.shardFor(e.Key)
+	sh.mu.Lock()
+	s.putLocked(sh, e)
+	sh.mu.Unlock()
+}
+
+// putLocked inserts under sh.mu and applies LRU eviction.
+func (s *Store) putLocked(sh *shard, e *precompile.Entry) {
+	if el, ok := sh.items[e.Key]; ok {
+		el.Value.(*node).entry = e
+		sh.lru.MoveToFront(el)
+		return
+	}
+	sh.items[e.Key] = sh.lru.PushFront(&node{key: e.Key, entry: e})
+	s.inserts.Add(1)
+	if s.perShard > 0 {
+		for sh.lru.Len() > s.perShard {
+			oldest := sh.lru.Back()
+			if oldest == nil {
+				break
+			}
+			sh.lru.Remove(oldest)
+			delete(sh.items, oldest.Value.(*node).key)
+			s.evictions.Add(1)
+		}
+	}
+}
+
+// AddLibrary merges every entry of a plain library into the store.
+func (s *Store) AddLibrary(lib *precompile.Library) {
+	if lib == nil {
+		return
+	}
+	for _, e := range lib.Entries {
+		s.Put(e)
+	}
+}
+
+// Outcome reports how GetOrTrain resolved a key.
+type Outcome int
+
+const (
+	// OutcomeHit: the entry was already cached — no training involved.
+	OutcomeHit Outcome = iota
+	// OutcomeTrained: this call executed the train function.
+	OutcomeTrained
+	// OutcomeJoined: another caller's in-flight training produced the
+	// result; this call waited for it (singleflight suppression).
+	OutcomeJoined
+)
+
+// GetOrTrain returns the cached entry for key, or runs train to produce
+// it. Concurrent callers for the same key are deduplicated: exactly one
+// executes train (OutcomeTrained), the rest block until it finishes and
+// share the result and its error (OutcomeJoined). A successful result is
+// inserted before any waiter is released, so a warm entry is immediately
+// visible to Get.
+func (s *Store) GetOrTrain(key string, train func() (*precompile.Entry, error)) (*precompile.Entry, Outcome, error) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	if el, ok := sh.items[key]; ok {
+		sh.lru.MoveToFront(el)
+		entry := el.Value.(*node).entry
+		sh.mu.Unlock()
+		s.hits.Add(1)
+		return entry, OutcomeHit, nil
+	}
+	s.misses.Add(1)
+	if c, ok := sh.flight[key]; ok {
+		sh.mu.Unlock()
+		s.dedup.Add(1)
+		<-c.done
+		return c.entry, OutcomeJoined, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	sh.flight[key] = c
+	sh.mu.Unlock()
+
+	s.trainings.Add(1)
+	entry, err := train()
+	if err == nil && entry == nil {
+		err = fmt.Errorf("libstore: train returned no entry for %q", key)
+	}
+	if err == nil && entry.Key != key {
+		err = fmt.Errorf("libstore: train returned entry %q for key %q", entry.Key, key)
+	}
+	if err != nil {
+		s.trainFailures.Add(1)
+		entry = nil
+	}
+
+	sh.mu.Lock()
+	delete(sh.flight, key)
+	if err == nil {
+		s.putLocked(sh, entry)
+	}
+	sh.mu.Unlock()
+	c.entry, c.err = entry, err
+	close(c.done)
+	return entry, OutcomeTrained, err
+}
+
+// Len returns the current entry count.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a counter snapshot.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Entries:         s.Len(),
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		Evictions:       s.evictions.Load(),
+		Inserts:         s.inserts.Load(),
+		Trainings:       s.trainings.Load(),
+		DedupSuppressed: s.dedup.Load(),
+		TrainFailures:   s.trainFailures.Load(),
+	}
+}
+
+// Snapshot copies the store's entries into a plain precompile.Library
+// (the persistence and interchange format).
+func (s *Store) Snapshot() *precompile.Library {
+	lib := precompile.NewLibrary()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k, el := range sh.items {
+			lib.Entries[k] = el.Value.(*node).entry
+		}
+		sh.mu.Unlock()
+	}
+	return lib
+}

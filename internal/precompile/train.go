@@ -1,0 +1,89 @@
+package precompile
+
+import (
+	"fmt"
+
+	"accqoc/internal/grape"
+	"accqoc/internal/grouping"
+	"accqoc/internal/hamiltonian"
+	"accqoc/internal/pulse"
+)
+
+// TrainGroup trains a single unique group in isolation — the unit of work
+// behind the serving path, where groups arrive one at a time from
+// concurrent requests rather than as a batch category. The optional seed
+// entry warm-starts the optimizer and brackets the latency search (its
+// latency becomes the binary-search hint). A nil return error with a nil
+// entry never happens: failure to converge within the bracket is an error
+// so callers can price the group gate-based.
+func TrainGroup(g *grouping.UniqueGroup, cfg Config, seed *Entry) (*Entry, error) {
+	cfg = cfg.withDefaults()
+	sys, err := hamiltonian.ForQubits(g.NumQubits, cfg.Ham)
+	if err != nil {
+		return nil, err
+	}
+	u, err := g.Group.Unitary()
+	if err != nil {
+		return nil, err
+	}
+	cu := canonicalUnitary(u)
+
+	gopts := cfg.Grape
+	gopts.Segments = SegmentsFor(g.NumQubits)
+	sopts := cfg.searchFor(g.NumQubits)
+	var seedPulse *pulse.Pulse
+	if seed != nil && seed.NumQubits == g.NumQubits {
+		seedPulse = seed.Pulse
+		sopts.HintDuration = seed.LatencyNs
+	}
+	res, err := grape.CompileBinarySearch(sys, cu, gopts, sopts, seedPulse)
+	if err != nil {
+		return nil, fmt.Errorf("precompile: group %s unreachable in bracket: %w", g.Key, err)
+	}
+	return &Entry{
+		Key:        g.Key,
+		NumQubits:  g.NumQubits,
+		Pulse:      res.Pulse,
+		LatencyNs:  res.Duration,
+		Iterations: res.TotalIterations,
+		Frequency:  g.Count,
+		Infidelity: res.Infidelity,
+	}, nil
+}
+
+// Merge copies every entry of other into l, overwriting on key collision.
+// Library itself is not safe for concurrent use — serving paths should go
+// through libstore.Store, which wraps a Library snapshot behind sharded
+// locks.
+func (l *Library) Merge(other *Library) {
+	if other == nil {
+		return
+	}
+	for k, e := range other.Entries {
+		l.Entries[k] = e
+	}
+}
+
+// Clone returns a shallow copy of the library: a fresh entry map sharing
+// the (immutable-by-convention) entries.
+func (l *Library) Clone() *Library {
+	out := NewLibrary()
+	out.Merge(l)
+	return out
+}
+
+// Keys computes the stable canonical key of every group occurrence in a
+// grouping, in occurrence order. Keys are content addresses: two groups
+// share a key iff their unitaries match under the paper's §IV-C
+// equivalence (global phase, and qubit order for two-qubit groups).
+func Keys(gr *grouping.Grouping) ([]string, error) {
+	keys := make([]string, len(gr.Groups))
+	for i, g := range gr.Groups {
+		k, err := g.Key()
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+	}
+	return keys, nil
+}

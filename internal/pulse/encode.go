@@ -1,0 +1,139 @@
+package pulse
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary snapshot encoding. Pulse libraries are persisted in bulk (the
+// libstore snapshot path); the default gob struct encoding would work but
+// gives no validation and no format stability across field renames. The
+// versioned layout below is the stable wire form:
+//
+//	u8  version (binaryVersion)
+//	f64 dt_ns
+//	u32 channels
+//	u32 segments
+//	channels × (u32 len | bytes)   channel labels, UTF-8
+//	channels × segments × f64      amplitudes, channel-major
+//
+// All integers and floats are little-endian.
+const binaryVersion = 1
+
+// maxBinaryDim bounds decoded channel/segment counts so a corrupt or
+// hostile snapshot cannot trigger an enormous allocation.
+const maxBinaryDim = 1 << 20
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (p *Pulse) MarshalBinary() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(binaryVersion)
+	le := binary.LittleEndian
+	var scratch [8]byte
+	le.PutUint64(scratch[:], math.Float64bits(p.Dt))
+	buf.Write(scratch[:])
+	le.PutUint32(scratch[:4], uint32(p.Channels()))
+	buf.Write(scratch[:4])
+	le.PutUint32(scratch[:4], uint32(p.Segments()))
+	buf.Write(scratch[:4])
+	for _, l := range p.Labels {
+		le.PutUint32(scratch[:4], uint32(len(l)))
+		buf.Write(scratch[:4])
+		buf.WriteString(l)
+	}
+	for _, ch := range p.Amps {
+		for _, a := range ch {
+			le.PutUint64(scratch[:], math.Float64bits(a))
+			buf.Write(scratch[:])
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler and validates the
+// decoded pulse.
+func (p *Pulse) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	version, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("pulse: truncated binary encoding: %w", err)
+	}
+	if version != binaryVersion {
+		return fmt.Errorf("pulse: unsupported binary version %d (want %d)", version, binaryVersion)
+	}
+	le := binary.LittleEndian
+	var scratch [8]byte
+	readF64 := func() (float64, error) {
+		if _, err := io.ReadFull(r, scratch[:]); err != nil {
+			return 0, fmt.Errorf("pulse: truncated binary encoding")
+		}
+		return math.Float64frombits(le.Uint64(scratch[:])), nil
+	}
+	readU32 := func() (int, error) {
+		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+			return 0, fmt.Errorf("pulse: truncated binary encoding")
+		}
+		return int(le.Uint32(scratch[:4])), nil
+	}
+	dt, err := readF64()
+	if err != nil {
+		return err
+	}
+	channels, err := readU32()
+	if err != nil {
+		return err
+	}
+	segments, err := readU32()
+	if err != nil {
+		return err
+	}
+	if channels < 0 || channels > maxBinaryDim || segments < 0 || segments > maxBinaryDim {
+		return fmt.Errorf("pulse: implausible dimensions %d×%d", channels, segments)
+	}
+	labels := make([]string, channels)
+	for i := range labels {
+		n, err := readU32()
+		if err != nil {
+			return err
+		}
+		if n < 0 || n > maxBinaryDim || n > r.Len() {
+			return fmt.Errorf("pulse: implausible label length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return fmt.Errorf("pulse: truncated binary encoding")
+		}
+		labels[i] = string(b)
+	}
+	if want := channels * segments * 8; r.Len() != want {
+		return fmt.Errorf("pulse: amplitude payload %d bytes, want %d", r.Len(), want)
+	}
+	out := New(labels, segments, dt)
+	for c := 0; c < channels; c++ {
+		for s := 0; s < segments; s++ {
+			a, err := readF64()
+			if err != nil {
+				return err
+			}
+			out.Amps[c][s] = a
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*p = *out
+	return nil
+}
+
+// GobEncode/GobDecode route gob through the versioned binary layout, so
+// gob snapshots validate on decode and survive field renames.
+func (p *Pulse) GobEncode() ([]byte, error) { return p.MarshalBinary() }
+
+// GobDecode implements gob.GobDecoder.
+func (p *Pulse) GobDecode(data []byte) error { return p.UnmarshalBinary(data) }

@@ -34,6 +34,20 @@ func Parse(src string) (*circuit.Circuit, error) {
 	return p.circ, nil
 }
 
+// ParseBudget parses OpenQASM source under a request-ingestion budget: a
+// program exceeding maxGates gates (when maxGates > 0) is rejected so a
+// public compilation endpoint cannot be fed an arbitrarily large circuit.
+func ParseBudget(src string, maxGates int) (*circuit.Circuit, error) {
+	c, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if maxGates > 0 && c.GateCount() > maxGates {
+		return nil, fmt.Errorf("qasm: program has %d gates, budget is %d", c.GateCount(), maxGates)
+	}
+	return c, nil
+}
+
 // splitStatements strips comments and splits on ';'.
 func splitStatements(src string) []string {
 	var clean strings.Builder

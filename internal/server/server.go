@@ -1,0 +1,398 @@
+// Package server exposes the AccQOC compilation pipeline as an HTTP JSON
+// service — the long-lived deployment shape the paper's pre-compiled
+// library implies (§IV/§V): many programs, one shared pulse library. The
+// server accepts OpenQASM 2.0 or a workload spec on POST /v1/compile, runs
+// the Prepare→coverage→train→latency pipeline on a bounded worker pool,
+// and serves every trained pulse from the sharded libstore.Store so warm
+// requests cost library lookups instead of GRAPE iterations. Concurrent
+// requests that need the same uncovered gate group trigger exactly one
+// training (the store's singleflight).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accqoc"
+	"accqoc/internal/circuit"
+	"accqoc/internal/crosstalk"
+	"accqoc/internal/gatepulse"
+	"accqoc/internal/grouping"
+	"accqoc/internal/latency"
+	"accqoc/internal/libstore"
+	"accqoc/internal/precompile"
+	"accqoc/internal/qasm"
+	"accqoc/internal/workload"
+)
+
+// Config assembles a Server. The zero value serves the paper's default
+// pipeline (Melbourne, map2b4l) on GOMAXPROCS workers with a fresh store.
+type Config struct {
+	// Compile configures the pipeline (device, policy, GRAPE budgets).
+	Compile accqoc.Options
+	// Store is the shared pulse library; nil creates an unbounded one.
+	Store *libstore.Store
+	// Workers bounds concurrent compilations. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds pending requests beyond the running ones; a full
+	// queue answers 503. Default 64.
+	QueueDepth int
+	// MaxGates rejects programs above this gate count (400). Default 4096.
+	MaxGates int
+	// MaxBodyBytes bounds request bodies. Default 4 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Store == nil {
+		c.Store = libstore.New(libstore.Options{})
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxGates <= 0 {
+		c.MaxGates = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	return c
+}
+
+// CompileRequest is the POST /v1/compile body. Exactly one of QASM or
+// Workload must be set.
+type CompileRequest struct {
+	// QASM is OpenQASM 2.0 source.
+	QASM string `json:"qasm,omitempty"`
+	// Workload is a generator spec: qft:N, named:NAME,
+	// random:QUBITS:GATES:SEED (see workload.FromSpec).
+	Workload string `json:"workload,omitempty"`
+}
+
+// CompileResponse reports one request's accelerated compilation.
+type CompileResponse struct {
+	Qubits int `json:"qubits"`
+	Gates  int `json:"gates"`
+
+	// Coverage of group occurrences by the library at request start
+	// (§V-A). A warm request has coverage 1.
+	TotalGroups     int     `json:"total_groups"`
+	CoveredGroups   int     `json:"covered_groups"`
+	CoverageRate    float64 `json:"coverage_rate"`
+	UncoveredUnique int     `json:"uncovered_unique"`
+	FailedGroups    int     `json:"failed_groups"`
+	WarmServed      bool    `json:"warm_served"`
+
+	QOCLatencyNs      float64 `json:"qoc_latency_ns"`
+	GateLatencyNs     float64 `json:"gate_latency_ns"`
+	LatencyReduction  float64 `json:"latency_reduction"`
+	EstimatedFidelity float64 `json:"estimated_fidelity"`
+
+	// CompileMillis is the server-side wall time for this request.
+	CompileMillis float64 `json:"compile_millis"`
+}
+
+// StatsResponse is the GET /v1/library/stats body.
+type StatsResponse struct {
+	Library libstore.Stats `json:"library"`
+	Server  ServerStats    `json:"server"`
+}
+
+// ServerStats carries request-level counters.
+type ServerStats struct {
+	UptimeSeconds      float64 `json:"uptime_seconds"`
+	Requests           int64   `json:"requests"`
+	Failures           int64   `json:"failures"`
+	Rejected           int64   `json:"rejected"` // queue-full 503s
+	TotalCompileMillis float64 `json:"total_compile_millis"`
+	Workers            int     `json:"workers"`
+	QueueDepth         int     `json:"queue_depth"`
+}
+
+type job struct {
+	prog *circuit.Circuit
+	done chan jobResult
+}
+
+type jobResult struct {
+	resp *CompileResponse
+	err  error
+}
+
+// Server is the HTTP compilation service.
+type Server struct {
+	cfg   Config
+	comp  *accqoc.Compiler
+	store *libstore.Store
+	mux   *http.ServeMux
+
+	jobs  chan *job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	start time.Time
+
+	requests, failures, rejected atomic.Int64
+	compileNs                    atomic.Int64
+
+	// closeMu orders handler enqueues against Close: an enqueue holds the
+	// read lock, so once Close holds the write lock and sets closed, every
+	// queued job predates the quit signal and the worker drain loop (or
+	// Close's final sweep) is guaranteed to answer it.
+	closeMu   sync.RWMutex
+	closed    bool
+	closeOnce sync.Once
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		comp:  accqoc.New(cfg.Compile),
+		store: cfg.Store,
+		mux:   http.NewServeMux(),
+		jobs:  make(chan *job, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("GET /v1/library/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Store exposes the backing pulse store.
+func (s *Server) Store() *libstore.Store { return s.store }
+
+// Handler returns the HTTP handler (for http.Server or httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the worker pool after draining queued jobs. Requests that
+// arrive during or after Close are answered 503.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	s.closed = true
+	s.closeMu.Unlock()
+	s.closeOnce.Do(func() { close(s.quit) })
+	s.wg.Wait()
+	// Fail anything that slipped into the queue between the workers' drain
+	// sweep and their exit (possible only for jobs enqueued before closed
+	// was set, so this sweep is the last).
+	for {
+		select {
+		case j := <-s.jobs:
+			j.done <- jobResult{err: errors.New("server closed")}
+		default:
+			return
+		}
+	}
+}
+
+// enqueue submits a job unless the server is closed or the queue is full.
+func (s *Server) enqueue(j *job) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return errors.New("server shutting down")
+	}
+	select {
+	case s.jobs <- j:
+		return nil
+	default:
+		return errors.New("compilation queue full")
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.jobs:
+			resp, err := s.compile(j.prog)
+			j.done <- jobResult{resp: resp, err: err}
+		case <-s.quit:
+			// Drain whatever is already queued so no handler hangs.
+			for {
+				select {
+				case j := <-s.jobs:
+					resp, err := s.compile(j.prog)
+					j.done <- jobResult{resp: resp, err: err}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// compile runs the serving-side pipeline: Prepare, store-backed coverage,
+// singleflight training of uncovered groups, and Algorithm 3 latency
+// assembly.
+func (s *Server) compile(prog *circuit.Circuit) (*CompileResponse, error) {
+	begin := time.Now()
+	prep, err := s.comp.Prepare(prog)
+	if err != nil {
+		return nil, err
+	}
+	gr := prep.Grouping
+	keys, err := precompile.Keys(gr)
+	if err != nil {
+		return nil, err
+	}
+
+	resp := &CompileResponse{
+		Qubits:      prog.NumQubits,
+		Gates:       prog.GateCount(),
+		TotalGroups: len(gr.Groups),
+	}
+
+	// Deduplicate occurrences against the precomputed keys, then resolve
+	// every unique group: a warm key is a store hit; a cold key trains
+	// exactly once across all concurrent requests (singleflight).
+	uniq := grouping.DeduplicateKeyed(gr.Groups, keys)
+	entries := make(map[string]*precompile.Entry, len(uniq))
+	cfg := s.comp.Options().Precompile
+	for _, u := range uniq {
+		e, outcome, terr := s.store.GetOrTrain(u.Key, func() (*precompile.Entry, error) {
+			return precompile.TrainGroup(u, cfg, nil)
+		})
+		if outcome == libstore.OutcomeHit {
+			resp.CoveredGroups += u.Count
+		} else {
+			// Trained here or joined another request's in-flight training:
+			// either way this request waited on GRAPE for the group.
+			resp.UncoveredUnique++
+		}
+		if terr != nil {
+			// Unreachable within the bracket: price it gate-based below.
+			resp.FailedGroups++
+			continue
+		}
+		entries[u.Key] = e
+	}
+	if resp.TotalGroups > 0 {
+		resp.CoverageRate = float64(resp.CoveredGroups) / float64(resp.TotalGroups)
+	} else {
+		resp.CoverageRate = 1
+	}
+	resp.WarmServed = resp.UncoveredUnique == 0
+
+	dev := s.comp.Options().Device
+	overall, err := latency.OverallGroups(gr, func(i int) (float64, error) {
+		if e, ok := entries[keys[i]]; ok {
+			return e.LatencyNs, nil
+		}
+		var sum float64
+		for _, g := range gr.Groups[i].Gates {
+			sum += gatepulse.GateLatency(g.Name, dev.Calibration)
+		}
+		return sum, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp.QOCLatencyNs = overall
+	resp.GateLatencyNs = gatepulse.Overall(prep.Physical, dev.Calibration)
+	if overall > 0 {
+		resp.LatencyReduction = resp.GateLatencyNs / overall
+	}
+	resp.EstimatedFidelity = crosstalk.ProgramFidelity(prep.Physical, dev, overall)
+	resp.CompileMillis = float64(time.Since(begin)) / float64(time.Millisecond)
+	return resp, nil
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req CompileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.failures.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	prog, err := s.ingest(req)
+	if err != nil {
+		s.failures.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	j := &job{prog: prog, done: make(chan jobResult, 1)}
+	if err := s.enqueue(j); err != nil {
+		s.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	// Wait for the worker even if the client goes away: the training is
+	// already paid for and warms the shared library.
+	res := <-j.done
+	if res.err != nil {
+		s.failures.Add(1)
+		writeError(w, http.StatusInternalServerError, res.err)
+		return
+	}
+	s.compileNs.Add(int64(res.resp.CompileMillis * float64(time.Millisecond)))
+	writeJSON(w, http.StatusOK, res.resp)
+}
+
+// ingest turns a request body into a circuit.
+func (s *Server) ingest(req CompileRequest) (*circuit.Circuit, error) {
+	switch {
+	case req.QASM != "" && req.Workload != "":
+		return nil, errors.New("set exactly one of qasm, workload")
+	case req.QASM != "":
+		return qasm.ParseBudget(req.QASM, s.cfg.MaxGates)
+	case req.Workload != "":
+		// The budget is enforced inside the generator, before anything of
+		// consequence is built.
+		p, err := workload.FromSpecBudget(req.Workload, s.cfg.MaxGates)
+		if err != nil {
+			return nil, err
+		}
+		return p.Circuit, nil
+	default:
+		return nil, errors.New("set exactly one of qasm, workload")
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Library: s.store.Stats(),
+		Server: ServerStats{
+			UptimeSeconds:      time.Since(s.start).Seconds(),
+			Requests:           s.requests.Load(),
+			Failures:           s.failures.Load(),
+			Rejected:           s.rejected.Load(),
+			TotalCompileMillis: float64(s.compileNs.Load()) / float64(time.Millisecond),
+			Workers:            s.cfg.Workers,
+			QueueDepth:         s.cfg.QueueDepth,
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"accqoc"
+	"accqoc/internal/grape"
+	"accqoc/internal/grouping"
+	"accqoc/internal/precompile"
+	"accqoc/internal/qasm"
+	"accqoc/internal/topology"
+)
+
+// fastOpts keeps GRAPE budgets small so tests train in milliseconds.
+func fastOpts() accqoc.Options {
+	return accqoc.Options{
+		Device: topology.Linear(3),
+		Policy: grouping.Map2b4l,
+		Precompile: precompile.Config{
+			Grape:    grape.Options{TargetInfidelity: 1e-2, MaxIterations: 300, Seed: 1},
+			Search1Q: grape.SearchOptions{MinDuration: 10, MaxDuration: 120, Resolution: 20},
+			Search2Q: grape.SearchOptions{MinDuration: 200, MaxDuration: 1400, Resolution: 200},
+		},
+	}
+}
+
+// oneQubitProgram: rz/h gates only, so every group is single-qubit and
+// trains fast.
+const oneQubitProgram = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+rz(0.4) q[0];
+h q[0];
+rz(1.1) q[1];
+`
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Compile: fastOpts(), Workers: 8})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func postCompile(t *testing.T, url string, req CompileRequest) (*CompileResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, resp.StatusCode
+	}
+	var out CompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out, resp.StatusCode
+}
+
+func getStats(t *testing.T, url string) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/library/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestServerWarmCacheEndToEnd is the subsystem's demo: the same circuit
+// submitted twice, with the second request served entirely from the warm
+// library, visible both in the response and in /v1/library/stats.
+func TestServerWarmCacheEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	_, ts := newTestServer(t)
+
+	cold, code := postCompile(t, ts.URL, CompileRequest{QASM: oneQubitProgram})
+	if code != http.StatusOK {
+		t.Fatalf("cold request status %d", code)
+	}
+	if cold.UncoveredUnique == 0 || cold.WarmServed {
+		t.Fatalf("cold request reported warm: %+v", cold)
+	}
+	if cold.QOCLatencyNs <= 0 || cold.EstimatedFidelity <= 0 {
+		t.Fatalf("cold request missing latency/fidelity: %+v", cold)
+	}
+
+	warm, code := postCompile(t, ts.URL, CompileRequest{QASM: oneQubitProgram})
+	if code != http.StatusOK {
+		t.Fatalf("warm request status %d", code)
+	}
+	if !warm.WarmServed || warm.CoverageRate != 1 || warm.UncoveredUnique != 0 {
+		t.Fatalf("second request not warm: %+v", warm)
+	}
+	if warm.QOCLatencyNs != cold.QOCLatencyNs {
+		t.Fatalf("warm latency %v differs from cold %v", warm.QOCLatencyNs, cold.QOCLatencyNs)
+	}
+	if warm.CompileMillis >= cold.CompileMillis {
+		t.Fatalf("warm compile (%.2fms) not faster than cold (%.2fms)",
+			warm.CompileMillis, cold.CompileMillis)
+	}
+
+	st := getStats(t, ts.URL)
+	if st.Library.Trainings != int64(cold.UncoveredUnique) {
+		t.Fatalf("trainings = %d, want %d (one per unique group)",
+			st.Library.Trainings, cold.UncoveredUnique)
+	}
+	if st.Library.Hits == 0 {
+		t.Fatal("warm request produced no library hits")
+	}
+	if st.Server.Requests != 2 || st.Server.Failures != 0 {
+		t.Fatalf("server stats %+v, want 2 requests, 0 failures", st.Server)
+	}
+	if st.Server.TotalCompileMillis <= 0 {
+		t.Fatal("no compile time accounted")
+	}
+}
+
+// TestServerConcurrentDuplicatesTrainOnce submits the same circuit from
+// many clients at once on a cold server: the store's singleflight must
+// collapse them to exactly one GRAPE training per unique group.
+func TestServerConcurrentDuplicatesTrainOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	s, ts := newTestServer(t)
+
+	// Independently compute the program's unique group count.
+	prog, err := qasm.Parse(oneQubitProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := accqoc.New(fastOpts()).Prepare(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniq, err := grouping.Deduplicate(prep.Grouping.Groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUnique := len(uniq)
+	if wantUnique == 0 {
+		t.Fatal("program has no groups")
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, code := postCompile(t, ts.URL, CompileRequest{QASM: oneQubitProgram})
+			if code != http.StatusOK {
+				t.Errorf("status %d", code)
+				return
+			}
+			if resp.FailedGroups != 0 {
+				t.Errorf("failed groups: %+v", resp)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := s.Store().Stats()
+	if st.Trainings != int64(wantUnique) {
+		t.Fatalf("%d concurrent duplicates ran %d trainings, want exactly %d",
+			clients, st.Trainings, wantUnique)
+	}
+	if st.Entries != wantUnique {
+		t.Fatalf("store has %d entries, want %d", st.Entries, wantUnique)
+	}
+	if st.TrainFailures != 0 {
+		t.Fatalf("train failures: %d", st.TrainFailures)
+	}
+}
+
+func TestServerWorkloadSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	_, ts := newTestServer(t)
+	resp, code := postCompile(t, ts.URL, CompileRequest{Workload: "qft:2"})
+	if code != http.StatusOK {
+		t.Fatalf("qft:2 status %d", code)
+	}
+	if resp.TotalGroups == 0 || resp.GateLatencyNs <= 0 {
+		t.Fatalf("qft:2 response %+v", resp)
+	}
+}
+
+func TestServerRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []CompileRequest{
+		{},                             // neither field
+		{QASM: "x", Workload: "qft:2"}, // both fields
+		{QASM: "not qasm at all"},      // parse error
+		{Workload: "warp:9"},           // unknown spec
+		{Workload: "random:1:10:1"},    // bad qubit count
+	}
+	for i, req := range cases {
+		if _, code := postCompile(t, ts.URL, req); code != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, code)
+		}
+	}
+	// Raw garbage body.
+	resp, err := http.Post(ts.URL+"/v1/compile", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerGateBudget(t *testing.T) {
+	s := New(Config{Compile: fastOpts(), MaxGates: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if _, code := postCompile(t, ts.URL, CompileRequest{QASM: oneQubitProgram}); code != http.StatusBadRequest {
+		t.Fatalf("over-budget program status %d, want 400", code)
+	}
+	if _, code := postCompile(t, ts.URL, CompileRequest{Workload: "qft:8"}); code != http.StatusBadRequest {
+		t.Fatalf("over-budget workload status %d, want 400", code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("healthz body %v", body)
+	}
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// maxSpecQubits is a plausibility ceiling on generator qubit counts:
+// real devices are orders of magnitude smaller, and a runaway value
+// would otherwise allocate before any gate budget can intervene.
+const maxSpecQubits = 4096
+
+// FromSpec builds a benchmark program from a compact spec string — the
+// workload-DSL ingestion path of the compilation server, where clients name
+// a generator instead of shipping QASM:
+//
+//	qft:N                   exact N-qubit QFT
+//	named:NAME              a Table II suite program (4gt4-v0, cm152a, ex2,
+//	                        f2, qft_10, qft_16)
+//	random:QUBITS:GATES:SEED   suite-mix random program
+func FromSpec(spec string) (*Program, error) {
+	return FromSpecBudget(spec, 0)
+}
+
+// FromSpecBudget is FromSpec under a gate budget (0 = unlimited). The
+// budget is enforced on the predicted size before anything is generated:
+// a few-byte spec like random:4:2000000000:1 must fail fast, not build
+// two billion gates first.
+func FromSpecBudget(spec string, maxGates int) (*Program, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	switch parts[0] {
+	case "qft":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("workload: spec %q: want qft:N", spec)
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n < 1 || n > maxSpecQubits {
+			return nil, fmt.Errorf("workload: spec %q: bad qubit count", spec)
+		}
+		// n Hadamards plus 5 gates (3 rz, 2 cx) per controlled phase.
+		predicted := int64(n) + 5*int64(n)*int64(n-1)/2
+		if maxGates > 0 && predicted > int64(maxGates) {
+			return nil, fmt.Errorf("workload: qft:%d has %d gates, budget is %d", n, predicted, maxGates)
+		}
+		return QFT(n), nil
+	case "named":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("workload: spec %q: want named:NAME", spec)
+		}
+		for _, p := range NamedSuite() {
+			if p.Name == parts[1] {
+				if n := p.Circuit.GateCount(); maxGates > 0 && n > maxGates {
+					return nil, fmt.Errorf("workload: %s has %d gates, budget is %d", p.Name, n, maxGates)
+				}
+				return p, nil
+			}
+		}
+		return nil, fmt.Errorf("workload: unknown named program %q", parts[1])
+	case "random":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("workload: spec %q: want random:QUBITS:GATES:SEED", spec)
+		}
+		qubits, err1 := strconv.Atoi(parts[1])
+		gates, err2 := strconv.Atoi(parts[2])
+		seed, err3 := strconv.ParseInt(parts[3], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || qubits < 2 || qubits > maxSpecQubits || gates < 1 {
+			return nil, fmt.Errorf("workload: spec %q: bad parameters", spec)
+		}
+		if maxGates > 0 && gates > maxGates {
+			return nil, fmt.Errorf("workload: random spec asks %d gates, budget is %d", gates, maxGates)
+		}
+		return Random(fmt.Sprintf("random_%d_%d_%d", qubits, gates, seed), qubits, gates, seed)
+	default:
+		return nil, fmt.Errorf("workload: unknown spec kind %q (want qft|named|random)", parts[0])
+	}
+}

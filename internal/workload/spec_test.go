@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFromSpec(t *testing.T) {
+	p, err := FromSpec("qft:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Circuit.NumQubits != 3 || p.Circuit.GateCount() != 3+5*3 {
+		t.Fatalf("qft:3 = %d qubits, %d gates", p.Circuit.NumQubits, p.Circuit.GateCount())
+	}
+	p, err = FromSpec("named:f2")
+	if err != nil || p.Name != "f2" {
+		t.Fatalf("named:f2 = %v, %v", p, err)
+	}
+	p, err = FromSpec("random:4:50:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Circuit.NumQubits != 4 || p.Circuit.GateCount() != 50 {
+		t.Fatalf("random:4:50:7 = %d qubits, %d gates", p.Circuit.NumQubits, p.Circuit.GateCount())
+	}
+	// Determinism: the same spec yields the same circuit.
+	q, _ := FromSpec("random:4:50:7")
+	if q.Circuit.GateCount() != p.Circuit.GateCount() || q.Name != p.Name {
+		t.Fatal("random spec not deterministic")
+	}
+
+	for _, bad := range []string{
+		"", "qft", "qft:x", "qft:0", "qft:100000", "named:", "named:nope",
+		"random:1:10:1", "random:4:0:1", "random:4:10", "warp:9",
+	} {
+		if _, err := FromSpec(bad); err == nil {
+			t.Errorf("FromSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFromSpecBudgetRejectsBeforeGeneration is the DoS guard: a tiny spec
+// demanding a huge program must fail fast on the predicted size, not
+// after building it.
+func TestFromSpecBudgetRejectsBeforeGeneration(t *testing.T) {
+	for _, spec := range []string{
+		"random:4:2000000000:1", // 2e9 gates
+		"qft:4000",              // ~4e7 gates
+	} {
+		start := time.Now()
+		_, err := FromSpecBudget(spec, 4096)
+		if err == nil {
+			t.Fatalf("FromSpecBudget(%q, 4096) accepted", spec)
+		}
+		if !strings.Contains(err.Error(), "budget") {
+			t.Fatalf("FromSpecBudget(%q) error %v does not mention the budget", spec, err)
+		}
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Fatalf("FromSpecBudget(%q) took %v — generated before checking", spec, elapsed)
+		}
+	}
+	// Named programs over budget are rejected too.
+	if _, err := FromSpecBudget("named:f2", 10); err == nil {
+		t.Fatal("named:f2 accepted under a 10-gate budget")
+	}
+	// And the budget leaves reasonable requests alone.
+	if _, err := FromSpecBudget("qft:4", 4096); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,6 +9,7 @@
 //
 //	accqoc-server -addr :8080 -lib pulses.snap
 //	accqoc-server -device linear16 -policy swap2b3l -workers 8 -capacity 4096
+//	accqoc-server -pprof localhost:6060   # expose net/http/pprof for live profiling
 //
 // The snapshot is loaded at boot (if present), saved on SIGINT/SIGTERM
 // shutdown, and optionally saved on a timer with -snapshot-every.
@@ -21,8 +22,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -49,6 +52,9 @@ func main() {
 	maxGates := flag.Int("max-gates", 4096, "per-request gate budget")
 	fidelity := flag.Float64("fidelity", 1e-3, "GRAPE target infidelity")
 	maxIter := flag.Int("max-iter", 600, "GRAPE iteration cap per optimization")
+	grapeParallel := flag.Int("grape-parallel", 0,
+		"per-segment GRAPE workers per training (0 = auto: sequential when the request pool has >1 worker; negative = always sequential)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (empty = disabled)")
 	flag.Parse()
 
 	policy, err := grouping.PolicyByName(*policyName)
@@ -82,12 +88,25 @@ func main() {
 		}
 	}
 
+	segWorkers := *grapeParallel
+	if segWorkers == 0 {
+		pool := *workers
+		if pool == 0 {
+			pool = runtime.GOMAXPROCS(0)
+		}
+		if pool > 1 {
+			// The request pool already parallelizes across trainings;
+			// per-segment workers inside each would oversubscribe.
+			segWorkers = -1
+		}
+	}
+
 	srv := server.New(server.Config{
 		Compile: accqoc.Options{
 			Device: dev,
 			Policy: policy,
 			Precompile: precompile.Config{
-				Grape: grape.Options{TargetInfidelity: *fidelity, MaxIterations: *maxIter},
+				Grape: grape.Options{TargetInfidelity: *fidelity, MaxIterations: *maxIter, Parallel: segWorkers},
 			},
 		},
 		Store:      store,
@@ -95,6 +114,21 @@ func main() {
 		QueueDepth: *queue,
 		MaxGates:   *maxGates,
 	})
+
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

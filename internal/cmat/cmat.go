@@ -83,6 +83,24 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// CopyFrom copies a's elements into m. Shapes must match.
+func (m *Matrix) CopyFrom(a *Matrix) {
+	sameShape("CopyFrom", m, a)
+	copy(m.Data, a.Data)
+}
+
+// SetIdentity overwrites m (which must be square) with the identity.
+func (m *Matrix) SetIdentity() {
+	mustSquare("SetIdentity", m)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+}
+
 // IsSquare reports whether m is square.
 func (m *Matrix) IsSquare() bool { return m.Rows == m.Cols }
 
@@ -185,12 +203,22 @@ func Mul(a, b *Matrix) *Matrix {
 }
 
 // MulInto computes dst = a·b without allocating. dst must have shape
-// a.Rows × b.Cols and must not alias a or b.
+// a.Rows × b.Cols and must not alias a or b. Square 2×2 and 4×4 products —
+// the one- and two-qubit shapes that dominate every QOC workload — are
+// dispatched to fully unrolled kernels.
 func MulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("cmat: MulInto shape mismatch")
 	}
 	n, k, p := a.Rows, a.Cols, b.Cols
+	switch {
+	case n == 2 && k == 2 && p == 2:
+		mul2x2(dst.Data, a.Data, b.Data)
+		return
+	case n == 4 && k == 4 && p == 4:
+		mul4x4(dst.Data, a.Data, b.Data)
+		return
+	}
 	for i := 0; i < n; i++ {
 		row := dst.Data[i*p : (i+1)*p]
 		for j := range row {
@@ -224,12 +252,22 @@ func MulChain(ms ...*Matrix) *Matrix {
 // Dagger returns the conjugate transpose a†.
 func Dagger(a *Matrix) *Matrix {
 	out := New(a.Cols, a.Rows)
+	DaggerInto(out, a)
+	return out
+}
+
+// DaggerInto computes dst = a† without allocating. dst must have shape
+// a.Cols × a.Rows and must not alias a.
+func DaggerInto(dst, a *Matrix) {
+	if dst.Rows != a.Cols || dst.Cols != a.Rows {
+		panic(fmt.Sprintf("cmat: DaggerInto shape mismatch %dx%d vs %dx%d", dst.Rows, dst.Cols, a.Rows, a.Cols))
+	}
 	for i := 0; i < a.Rows; i++ {
 		for j := 0; j < a.Cols; j++ {
-			out.Data[j*a.Rows+i] = cmplx.Conj(a.Data[i*a.Cols+j])
+			v := a.Data[i*a.Cols+j]
+			dst.Data[j*a.Rows+i] = complex(real(v), -imag(v))
 		}
 	}
-	return out
 }
 
 // Transpose returns aᵀ (no conjugation).
@@ -258,6 +296,67 @@ func Trace(a *Matrix) complex128 {
 	var t complex128
 	for i := 0; i < a.Rows; i++ {
 		t += a.Data[i*a.Cols+i]
+	}
+	return t
+}
+
+// MulABtInto computes dst = a·bᵀ (no conjugation) without allocating or
+// forming bᵀ: dst[i][j] = Σₗ a[i][l]·b[j][l], a row-dot-row product that
+// walks both operands contiguously. a.Cols must equal b.Cols; dst must be
+// a.Rows × b.Rows and must not alias a or b.
+func MulABtInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("cmat: MulABtInto shape mismatch")
+	}
+	k := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s complex128
+			for l, av := range arow {
+				s += av * brow[l]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// MulConjInto computes dst = conj(a)·b without allocating or forming
+// conj(a). Shapes follow MulInto's rules; dst must not alias a or b.
+func MulConjInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("cmat: MulConjInto shape mismatch")
+	}
+	n, k, p := a.Rows, a.Cols, b.Cols
+	for i := 0; i < n; i++ {
+		row := dst.Data[i*p : (i+1)*p]
+		for j := range row {
+			row[j] = 0
+		}
+		for l := 0; l < k; l++ {
+			v := a.Data[i*k+l]
+			if v == 0 {
+				continue
+			}
+			av := complex(real(v), -imag(v))
+			brow := b.Data[l*p : (l+1)*p]
+			for j, bv := range brow {
+				row[j] += av * bv
+			}
+		}
+	}
+}
+
+// TraceMulDagger returns Tr(a†·b) = Σᵢⱼ conj(aᵢⱼ)·bᵢⱼ without forming the
+// product — the allocation-free inner product behind gate fidelity. Shapes
+// must match.
+func TraceMulDagger(a, b *Matrix) complex128 {
+	sameShape("TraceMulDagger", a, b)
+	var t complex128
+	for i, v := range a.Data {
+		t += complex(real(v), -imag(v)) * b.Data[i]
 	}
 	return t
 }

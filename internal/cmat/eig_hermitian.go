@@ -3,8 +3,6 @@ package cmat
 import (
 	"errors"
 	"math"
-	"math/cmplx"
-	"sort"
 )
 
 // HermitianEigen holds the spectral decomposition A = V·diag(Values)·V† of a
@@ -13,6 +11,12 @@ import (
 type HermitianEigen struct {
 	Values  []float64
 	Vectors *Matrix
+}
+
+// NewHermitianEigen returns an n-dimensional decomposition buffer for
+// EigenHermitianInto.
+func NewHermitianEigen(n int) *HermitianEigen {
+	return &HermitianEigen{Values: make([]float64, n), Vectors: New(n, n)}
 }
 
 // ErrNoConvergence is returned when an iterative eigensolver fails to reach
@@ -24,9 +28,23 @@ var ErrNoConvergence = errors.New("cmat: eigensolver did not converge")
 // solver safe for larger inputs.
 const maxJacobiSweeps = 60
 
+// JacobiWorkspace holds the scratch state of one eigendecomposition so
+// repeated solves of the same dimension allocate nothing. A workspace is
+// owned by a single goroutine; concurrent solves need one workspace each.
+type JacobiWorkspace struct {
+	w, v *Matrix
+	perm []int
+}
+
+// NewJacobiWorkspace returns a workspace for n×n decompositions.
+func NewJacobiWorkspace(n int) *JacobiWorkspace {
+	return &JacobiWorkspace{w: New(n, n), v: New(n, n), perm: make([]int, n)}
+}
+
 // EigenHermitian diagonalizes a Hermitian matrix with the cyclic complex
-// Jacobi method. The input is validated to be Hermitian within hermTol; use
-// EigenHermitianTol to override the default 1e-9 (relative to max |aij|).
+// Jacobi method (closed form for 2×2). The input is validated to be
+// Hermitian within hermTol; use EigenHermitianTol to override the default
+// 1e-9 (relative to max |aij|).
 func EigenHermitian(a *Matrix) (*HermitianEigen, error) {
 	return EigenHermitianTol(a, 1e-9)
 }
@@ -34,18 +52,71 @@ func EigenHermitian(a *Matrix) (*HermitianEigen, error) {
 // EigenHermitianTol is EigenHermitian with an explicit Hermitian-validation
 // tolerance (scaled by max |aij|).
 func EigenHermitianTol(a *Matrix, hermTol float64) (*HermitianEigen, error) {
+	out := NewHermitianEigen(a.Rows)
+	if err := eigenHermitianInto(a, NewJacobiWorkspace(a.Rows), out, hermTol, true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EigenHermitianInto diagonalizes a into out using ws for scratch,
+// allocating nothing. a, ws and out must all have the same dimension and
+// must not alias. The decomposition is numerically identical to
+// EigenHermitian's — the allocating API is a thin wrapper over this one.
+func EigenHermitianInto(a *Matrix, ws *JacobiWorkspace, out *HermitianEigen) error {
+	return eigenHermitianInto(a, ws, out, 1e-9, true)
+}
+
+// EigenHermitianIntoTrusted is EigenHermitianInto minus the Hermiticity
+// validation scan. Only for callers that construct a Hermitian by
+// construction (real combinations of validated Hermitian operators) and
+// diagonalize in a hot loop; a non-Hermitian input silently yields garbage.
+// The decomposition itself is identical to the validated paths'.
+func EigenHermitianIntoTrusted(a *Matrix, ws *JacobiWorkspace, out *HermitianEigen) error {
+	return eigenHermitianInto(a, ws, out, 0, false)
+}
+
+func eigenHermitianInto(a *Matrix, ws *JacobiWorkspace, out *HermitianEigen, hermTol float64, validate bool) error {
 	mustSquare("EigenHermitian", a)
-	scale := MaxAbs(a)
+	n := a.Rows
+	if len(out.Values) != n || out.Vectors.Rows != n || out.Vectors.Cols != n {
+		panic("cmat: EigenHermitianInto output dimension mismatch")
+	}
+	// max |aij| via squared magnitudes: one sqrt instead of n² hypots.
+	// Squaring under/overflows beyond ±~1e±154, where hypot does not —
+	// fall back to the exact form there so extreme-range inputs keep the
+	// old behavior.
+	var maxSq float64
+	for _, v := range a.Data {
+		if s := sqAbs(v); s > maxSq {
+			maxSq = s
+		}
+	}
+	scale := math.Sqrt(maxSq)
+	if maxSq == 0 || math.IsInf(maxSq, 1) {
+		scale = MaxAbs(a)
+	}
 	if scale == 0 {
 		// Zero matrix: eigenvalues all zero, eigenvectors identity.
-		return &HermitianEigen{Values: make([]float64, a.Rows), Vectors: Identity(a.Rows)}, nil
+		for i := range out.Values {
+			out.Values[i] = 0
+		}
+		out.Vectors.SetIdentity()
+		return nil
 	}
-	if !IsHermitian(a, hermTol*scale) {
-		return nil, errors.New("cmat: EigenHermitian: input is not Hermitian")
+	if validate && !IsHermitian(a, hermTol*scale) {
+		return errors.New("cmat: EigenHermitian: input is not Hermitian")
 	}
-	n := a.Rows
-	w := a.Clone()
-	v := Identity(n)
+	if n == 2 {
+		eigenHermitian2x2(a, out)
+		return nil
+	}
+	if ws.w.Rows != n {
+		panic("cmat: EigenHermitianInto workspace dimension mismatch")
+	}
+	w, v := ws.w, ws.v
+	w.CopyFrom(a)
+	v.SetIdentity()
 
 	offNorm := func() float64 {
 		var s float64
@@ -64,7 +135,8 @@ func EigenHermitianTol(a *Matrix, hermTol float64) (*HermitianEigen, error) {
 	skip2 := tol * tol / float64(n*n)
 	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
 		if offNorm() <= tol {
-			return finishHermitian(w, v), nil
+			finishHermitian(w, v, ws.perm, out)
+			return nil
 		}
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
@@ -77,9 +149,10 @@ func EigenHermitianTol(a *Matrix, hermTol float64) (*HermitianEigen, error) {
 	if offNorm() <= tol*1e3 {
 		// Accept slightly looser convergence rather than fail outright; the
 		// residual is still far below anything the QOC pipeline can resolve.
-		return finishHermitian(w, v), nil
+		finishHermitian(w, v, ws.perm, out)
+		return nil
 	}
-	return nil, ErrNoConvergence
+	return ErrNoConvergence
 }
 
 // jacobiRotate applies a single complex Jacobi rotation zeroing w[p][q]
@@ -88,12 +161,21 @@ func EigenHermitianTol(a *Matrix, hermTol float64) (*HermitianEigen, error) {
 func jacobiRotate(w, v *Matrix, p, q int) {
 	n := w.Rows
 	apq := w.Data[p*n+q]
-	r := cmplx.Abs(apq)
+	// sqrt of the squared magnitude on the hot path; hypot only when the
+	// square under- or overflows.
+	s2 := sqAbs(apq)
+	var r float64
+	if s2 > 0 && !math.IsInf(s2, 1) {
+		r = math.Sqrt(s2)
+	} else {
+		r = math.Hypot(real(apq), imag(apq))
+	}
 	if r == 0 {
 		return
 	}
 	// Phase factor so that conj(phase)*apq is real positive.
-	phase := apq / complex(r, 0)
+	rinv := 1 / r
+	phase := complex(real(apq)*rinv, imag(apq)*rinv)
 	app := real(w.Data[p*n+p])
 	aqq := real(w.Data[q*n+q])
 
@@ -110,60 +192,63 @@ func jacobiRotate(w, v *Matrix, p, q int) {
 	s := t * c
 
 	// The full 2×2 unitary is U = [[c, s·phase], [−s·conj(phase), c]] applied
-	// as w ← U† w U on rows/columns p and q. Column update for all rows i:
+	// as w ← U† w U on rows/columns p and q. c is real, so the c-terms are
+	// scaled componentwise rather than through a full complex multiply.
+	// Column update for all rows i:
 	//   w[i][p] ← c·w[i][p] − s·conj(phase)·w[i][q]
 	//   w[i][q] ← s·phase·w[i][p_old] + c·w[i][q]
-	cs := complex(c, 0)
 	sp := complex(s, 0) * phase
-	spc := cmplx.Conj(sp)
+	spc := complex(real(sp), -imag(sp))
 	for i := 0; i < n; i++ {
 		wip := w.Data[i*n+p]
 		wiq := w.Data[i*n+q]
-		w.Data[i*n+p] = cs*wip - spc*wiq
-		w.Data[i*n+q] = sp*wip + cs*wiq
+		w.Data[i*n+p] = complex(c*real(wip), c*imag(wip)) - spc*wiq
+		w.Data[i*n+q] = sp*wip + complex(c*real(wiq), c*imag(wiq))
 	}
 	// Row update: w ← U† w, i.e.
 	//   w[p][j] ← c·w[p][j] − s·phase·w[q][j] (conjugated transform)
 	for j := 0; j < n; j++ {
 		wpj := w.Data[p*n+j]
 		wqj := w.Data[q*n+j]
-		w.Data[p*n+j] = cs*wpj - sp*wqj
-		w.Data[q*n+j] = spc*wpj + cs*wqj
+		w.Data[p*n+j] = complex(c*real(wpj), c*imag(wpj)) - sp*wqj
+		w.Data[q*n+j] = spc*wpj + complex(c*real(wqj), c*imag(wqj))
 	}
 	// Accumulate eigenvectors: v ← v·U.
 	for i := 0; i < n; i++ {
 		vip := v.Data[i*n+p]
 		viq := v.Data[i*n+q]
-		v.Data[i*n+p] = cs*vip - spc*viq
-		v.Data[i*n+q] = sp*vip + cs*viq
+		v.Data[i*n+p] = complex(c*real(vip), c*imag(vip)) - spc*viq
+		v.Data[i*n+q] = sp*vip + complex(c*real(viq), c*imag(viq))
 	}
 	// Clean the rotated pair to exactly zero to aid convergence detection.
 	w.Data[p*n+q] = 0
 	w.Data[q*n+p] = 0
 }
 
-// finishHermitian extracts sorted eigenvalues and reorders eigenvector
-// columns to match.
-func finishHermitian(w, v *Matrix) *HermitianEigen {
+// finishHermitian extracts sorted eigenvalues into out and reorders
+// eigenvector columns to match, using perm as the sorting scratch
+// (insertion sort: allocation-free, and n ≤ 32 in practice).
+func finishHermitian(w, v *Matrix, perm []int, out *HermitianEigen) {
 	n := w.Rows
-	type pair struct {
-		val float64
-		col int
-	}
-	pairs := make([]pair, n)
 	for i := 0; i < n; i++ {
-		pairs[i] = pair{real(w.Data[i*n+i]), i}
+		perm[i] = i
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val < pairs[j].val })
-	values := make([]float64, n)
-	vectors := New(n, n)
-	for newCol, p := range pairs {
-		values[newCol] = p.val
+	for i := 1; i < n; i++ {
+		p := perm[i]
+		key := real(w.Data[p*n+p])
+		j := i - 1
+		for j >= 0 && real(w.Data[perm[j]*n+perm[j]]) > key {
+			perm[j+1] = perm[j]
+			j--
+		}
+		perm[j+1] = p
+	}
+	for newCol, col := range perm {
+		out.Values[newCol] = real(w.Data[col*n+col])
 		for i := 0; i < n; i++ {
-			vectors.Data[i*n+newCol] = v.Data[i*n+p.col]
+			out.Vectors.Data[i*n+newCol] = v.Data[i*n+col]
 		}
 	}
-	return &HermitianEigen{Values: values, Vectors: vectors}
 }
 
 // Reconstruct returns V·diag(Values)·V†, which should equal the original
@@ -181,11 +266,26 @@ func (e *HermitianEigen) Reconstruct() *Matrix {
 // operator, e.g. f(λ)=exp(−iλt) yields the unitary propagator.
 func (e *HermitianEigen) ApplyFunc(f func(float64) complex128) *Matrix {
 	n := len(e.Values)
-	d := New(n, n)
-	for i, v := range e.Values {
-		d.Data[i*n+i] = f(v)
+	dst := New(n, n)
+	vdag := Dagger(e.Vectors)
+	e.ApplyFuncInto(dst, New(n, n), vdag, f)
+	return dst
+}
+
+// ApplyFuncInto computes dst = V·diag(f(λᵢ))·V† without allocating. scratch
+// must be an n×n buffer, and vdag must hold Dagger(e.Vectors) (callers on
+// the hot path keep it cached alongside the decomposition). dst, scratch
+// and vdag must be distinct matrices.
+func (e *HermitianEigen) ApplyFuncInto(dst, scratch, vdag *Matrix, f func(float64) complex128) {
+	n := len(e.Values)
+	v := e.Vectors
+	for j, l := range e.Values {
+		fl := f(l)
+		for i := 0; i < n; i++ {
+			scratch.Data[i*n+j] = v.Data[i*n+j] * fl
+		}
 	}
-	return MulChain(e.Vectors, d, Dagger(e.Vectors))
+	MulInto(dst, scratch, vdag)
 }
 
 func sqAbs(v complex128) float64 {

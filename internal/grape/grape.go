@@ -6,13 +6,16 @@
 // exact eigenbasis Fréchet derivative), the §IV-D optimizer menu via
 // package optimize, warm starts from previously trained pulses (§V-B), and
 // binary search over the pulse latency (§IV-D).
+//
+// The evaluation core is allocation-free in steady state: each Compile owns
+// an arena of per-segment buffers (see objective.go) reused across every
+// optimizer call, and the independent per-segment propagations can run on a
+// bounded worker set (Options.Parallel).
 package grape
 
 import (
 	"fmt"
 	"math"
-	"math/cmplx"
-	"math/rand"
 	"time"
 
 	"accqoc/internal/cmat"
@@ -49,6 +52,15 @@ type Options struct {
 	// Iterations are summed across attempts so compile-cost accounting
 	// stays honest.
 	Restarts int
+	// Parallel bounds the workers used for per-segment propagation inside
+	// each objective evaluation (segments are independent; only the
+	// cumulative products are sequential). 0 selects the automatic policy:
+	// up to GOMAXPROCS (capped at 8) for multi-qubit systems, sequential
+	// for single-qubit ones. Negative forces sequential evaluation —
+	// schedulers that already parallelize across groups (precompile's
+	// ParallelBuild, the serving worker pool) set this to avoid
+	// oversubscription. Results are bit-identical for every setting.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -92,7 +104,7 @@ type Result struct {
 // Fidelity is the phase-insensitive overlap |Tr(V†U)|²/d².
 func Fidelity(u, v *cmat.Matrix) float64 {
 	d := float64(u.Rows)
-	g := cmat.Trace(cmat.Mul(cmat.Dagger(v), u))
+	g := cmat.TraceMulDagger(v, u)
 	return (real(g)*real(g) + imag(g)*imag(g)) / (d * d)
 }
 
@@ -124,10 +136,10 @@ func Compile(sys *hamiltonian.System, target *cmat.Matrix, duration float64, opt
 		if attempt == 0 {
 			x0 = obj.initialVector(seed)
 		} else {
-			// Fresh deterministic random init per restart.
-			retry := opts
-			retry.Seed = opts.Seed + int64(attempt)*7919
-			x0 = newObjective(sys, target, duration, retry).initialVector(nil)
+			// Fresh deterministic random init per restart, drawn straight
+			// from the one objective (and its arena) instead of building a
+			// throwaway objective per attempt.
+			x0 = obj.randomInit(opts.Seed + int64(attempt)*7919)
 		}
 		res, err := optimize.Minimize(opts.Method, obj, x0, optimize.Options{
 			MaxIterations: opts.MaxIterations,
@@ -164,251 +176,34 @@ func Compile(sys *hamiltonian.System, target *cmat.Matrix, duration float64, opt
 // Propagate computes the exact time-ordered propagator of a pulse on a
 // system: U = U_N···U_1 with U_s = exp(−i·H(u_s)·dt).
 func Propagate(sys *hamiltonian.System, p *pulse.Pulse) *cmat.Matrix {
-	u := cmat.Identity(sys.Dim)
+	n := sys.Dim
+	ws := cmat.NewJacobiWorkspace(n)
+	eig := cmat.NewHermitianEigen(n)
+	h := cmat.New(n, n)
+	vDag := cmat.New(n, n)
+	scr := cmat.New(n, n)
+	step := cmat.New(n, n)
+	tmp := cmat.New(n, n)
+	u := cmat.Identity(n)
 	amps := make([]float64, len(sys.Controls))
+	expStep := func(l float64) complex128 {
+		sin, cos := math.Sincos(-p.Dt * l)
+		return complex(cos, sin)
+	}
 	for s := 0; s < p.Segments(); s++ {
 		for c := range amps {
 			amps[c] = p.Amps[c][s]
 		}
-		h := sys.Assemble(amps)
-		step, err := cmat.ExpmHermitian(h, -p.Dt)
-		if err != nil {
+		sys.AssembleInto(h, amps)
+		if err := cmat.EigenHermitianInto(h, ws, eig); err != nil {
 			// H is Hermitian by construction; Jacobi cannot fail on it in
 			// practice. Degrade loudly rather than silently.
 			panic(fmt.Sprintf("grape: propagator eigensolve failed: %v", err))
 		}
-		u = cmat.Mul(step, u)
+		cmat.DaggerInto(vDag, eig.Vectors)
+		eig.ApplyFuncInto(step, scr, vDag, expStep)
+		cmat.MulInto(tmp, step, u)
+		u, tmp = tmp, u
 	}
 	return u
-}
-
-// objective implements optimize.Objective over the flattened amplitude
-// vector x[s*nc+c].
-type objective struct {
-	sys    *hamiltonian.System
-	target *cmat.Matrix
-	dt     float64
-	nSeg   int
-	nCtl   int
-	opts   Options
-
-	targetDag *cmat.Matrix
-}
-
-func newObjective(sys *hamiltonian.System, target *cmat.Matrix, duration float64, opts Options) *objective {
-	return &objective{
-		sys:       sys,
-		target:    target,
-		dt:        duration / float64(opts.Segments),
-		nSeg:      opts.Segments,
-		nCtl:      len(sys.Controls),
-		opts:      opts,
-		targetDag: cmat.Dagger(target),
-	}
-}
-
-func (o *objective) initialVector(seed *pulse.Pulse) []float64 {
-	x := make([]float64, o.nSeg*o.nCtl)
-	if seed != nil {
-		rs := seed.Resample(o.nSeg, o.dt)
-		rs.Clip(o.sys.MaxAmp)
-		for s := 0; s < o.nSeg; s++ {
-			for c := 0; c < o.nCtl && c < rs.Channels(); c++ {
-				x[s*o.nCtl+c] = rs.Amps[c][s]
-			}
-		}
-		return x
-	}
-	rng := rand.New(rand.NewSource(o.opts.Seed + 1))
-	for i := range x {
-		x[i] = 0.1 * o.sys.MaxAmp * (2*rng.Float64() - 1)
-	}
-	return x
-}
-
-func (o *objective) vectorToPulse(x []float64) *pulse.Pulse {
-	p := pulse.New(o.sys.ControlNames, o.nSeg, o.dt)
-	for s := 0; s < o.nSeg; s++ {
-		for c := 0; c < o.nCtl; c++ {
-			p.Amps[c][s] = x[s*o.nCtl+c]
-		}
-	}
-	return p
-}
-
-// Evaluate returns 1 − F + amplitude penalty.
-func (o *objective) Evaluate(x []float64) float64 {
-	u := cmat.Identity(o.sys.Dim)
-	amps := make([]float64, o.nCtl)
-	for s := 0; s < o.nSeg; s++ {
-		for c := range amps {
-			amps[c] = x[s*o.nCtl+c]
-		}
-		h := o.sys.Assemble(amps)
-		e, err := cmat.EigenHermitian(h)
-		if err != nil {
-			return math.Inf(1)
-		}
-		step := e.ApplyFunc(func(l float64) complex128 {
-			return cmplx.Exp(complex(0, -o.dt*l))
-		})
-		u = cmat.Mul(step, u)
-	}
-	g := cmat.Trace(cmat.Mul(o.targetDag, u))
-	d := float64(o.sys.Dim)
-	f := (real(g)*real(g) + imag(g)*imag(g)) / (d * d)
-	return 1 - f + o.ampPenalty(x, nil)
-}
-
-// Gradient computes the cost and its exact or first-order derivative.
-//
-// The exact path exploits trace cyclicity: with L_s = V†target·bwd[s] and
-// R_s = fwd[s−1],
-//
-//	∂G/∂u_{s,c} = Tr(L_s · dU_s · R_s) = Tr((R_s·L_s) · dU_s)
-//
-// and in the eigenbasis of the segment Hamiltonian (dU = V·B_c·V† with
-// B_c = Γ ∘ (V†·(−i·dt·H_c)·V)) this becomes Σᵢⱼ M[i][j]·B_c[j][i] with the
-// per-segment M = V†·(R_s·L_s)·V shared across controls. Γ reuses the
-// e^{μ} values already computed for the propagator.
-func (o *objective) Gradient(x, grad []float64) float64 {
-	n := o.sys.Dim
-	d := float64(n)
-
-	// Forward pass: per-segment eigendecompositions and propagators.
-	props := make([]*cmat.Matrix, o.nSeg)
-	eigs := make([]*cmat.HermitianEigen, o.nSeg)
-	expMu := make([][]complex128, o.nSeg)
-	amps := make([]float64, o.nCtl)
-	for s := 0; s < o.nSeg; s++ {
-		for c := range amps {
-			amps[c] = x[s*o.nCtl+c]
-		}
-		h := o.sys.Assemble(amps)
-		e, err := cmat.EigenHermitian(h)
-		if err != nil {
-			for i := range grad {
-				grad[i] = 0
-			}
-			return math.Inf(1)
-		}
-		eigs[s] = e
-		em := make([]complex128, n)
-		for i, l := range e.Values {
-			em[i] = cmplx.Exp(complex(0, -o.dt*l))
-		}
-		expMu[s] = em
-		props[s] = e.ApplyFunc(func(l float64) complex128 {
-			return cmplx.Exp(complex(0, -o.dt*l))
-		})
-	}
-	// Cumulative products: fwd[s] = U_s···U_1 (fwd[-1] = I), and
-	// bwd[s] = U_{N-1}···U_{s+1} (bwd[N-1] = I), 0-indexed.
-	fwd := make([]*cmat.Matrix, o.nSeg)
-	acc := cmat.Identity(n)
-	for s := 0; s < o.nSeg; s++ {
-		next := cmat.New(n, n)
-		cmat.MulInto(next, props[s], acc)
-		acc = next
-		fwd[s] = acc
-	}
-	bwd := make([]*cmat.Matrix, o.nSeg)
-	acc = cmat.Identity(n)
-	for s := o.nSeg - 1; s >= 0; s-- {
-		bwd[s] = acc
-		next := cmat.New(n, n)
-		cmat.MulInto(next, acc, props[s])
-		acc = next
-	}
-	uTotal := fwd[o.nSeg-1]
-	g := cmat.Trace(cmat.Mul(o.targetDag, uTotal))
-	f := (real(g)*real(g) + imag(g)*imag(g)) / (d * d)
-
-	// Scratch matrices reused across segments.
-	left := cmat.New(n, n)
-	rl := cmat.New(n, n)
-	t1 := cmat.New(n, n)
-	m := cmat.New(n, n)
-	a := cmat.New(n, n)
-	id := cmat.Identity(n)
-
-	firstOrder := o.opts.Gradient == GradientFirstOrder
-	for s := 0; s < o.nSeg; s++ {
-		cmat.MulInto(left, o.targetDag, bwd[s])
-		right := id
-		if s > 0 {
-			right = fwd[s-1]
-		}
-		cmat.MulInto(rl, right, left)
-
-		if firstOrder {
-			// ∂U_s ≈ −i·dt·H_c·U_s ⇒ dG = −i·dt·Tr(U_s·RL·H_c).
-			cmat.MulInto(t1, props[s], rl)
-			for c := 0; c < o.nCtl; c++ {
-				hc := o.sys.Controls[c]
-				var tr complex128
-				for i := 0; i < n; i++ {
-					for j := 0; j < n; j++ {
-						tr += t1.Data[i*n+j] * hc.Data[j*n+i]
-					}
-				}
-				dG := complex(0, -o.dt) * tr
-				grad[s*o.nCtl+c] = -(2 / (d * d)) * (real(g)*real(dG) + imag(g)*imag(dG))
-			}
-			continue
-		}
-
-		v := eigs[s].Vectors
-		vDag := cmat.Dagger(v)
-		cmat.MulInto(t1, rl, v)
-		cmat.MulInto(m, vDag, t1)
-		em := expMu[s]
-		vals := eigs[s].Values
-		for c := 0; c < o.nCtl; c++ {
-			// A = V†·H_c·V.
-			cmat.MulInto(t1, o.sys.Controls[c], v)
-			cmat.MulInto(a, vDag, t1)
-			// dG = Σᵢⱼ M[i][j] · (−i·dt·Γ[j][i]·A[j][i]).
-			var dG complex128
-			for j := 0; j < n; j++ {
-				muj := complex(0, -o.dt*vals[j])
-				for i := 0; i < n; i++ {
-					var gamma complex128
-					diff := muj - complex(0, -o.dt*vals[i])
-					if real(diff)*real(diff)+imag(diff)*imag(diff) < 1e-20 {
-						gamma = em[j]
-					} else {
-						gamma = (em[j] - em[i]) / diff
-					}
-					dG += m.Data[i*n+j] * complex(0, -o.dt) * gamma * a.Data[j*n+i]
-				}
-			}
-			grad[s*o.nCtl+c] = -(2 / (d * d)) * (real(g)*real(dG) + imag(g)*imag(dG))
-		}
-	}
-	return 1 - f + o.ampPenalty(x, grad)
-}
-
-// ampPenalty adds a soft quadratic wall beyond ±MaxAmp; if grad is non-nil
-// the penalty derivative is accumulated into it.
-func (o *objective) ampPenalty(x []float64, grad []float64) float64 {
-	w := o.opts.AmpPenaltyWeight
-	umax := o.sys.MaxAmp
-	var pen float64
-	for i, u := range x {
-		over := math.Abs(u) - umax
-		if over <= 0 {
-			continue
-		}
-		r := over / umax
-		pen += w * r * r
-		if grad != nil {
-			g := 2 * w * r / umax
-			if u < 0 {
-				g = -g
-			}
-			grad[i] += g
-		}
-	}
-	return pen
 }

@@ -188,16 +188,24 @@ func ForQubits(n int, cfg Config) (*System, error) {
 
 // Assemble returns Drift + Σ amps[c]·Controls[c].
 func (s *System) Assemble(amps []float64) *cmat.Matrix {
+	h := cmat.New(s.Dim, s.Dim)
+	s.AssembleInto(h, amps)
+	return h
+}
+
+// AssembleInto writes Drift + Σ amps[c]·Controls[c] into dst without
+// allocating. dst must be Dim×Dim; it is overwritten. The result is
+// numerically identical to Assemble's.
+func (s *System) AssembleInto(dst *cmat.Matrix, amps []float64) {
 	if len(amps) != len(s.Controls) {
 		panic(fmt.Sprintf("hamiltonian: %d amplitudes for %d controls", len(amps), len(s.Controls)))
 	}
-	h := s.Drift.Clone()
+	dst.CopyFrom(s.Drift)
 	for c, a := range amps {
 		if a != 0 {
-			cmat.AccumScaled(h, complex(a, 0), s.Controls[c])
+			cmat.AccumScaled(dst, complex(a, 0), s.Controls[c])
 		}
 	}
-	return h
 }
 
 // Validate checks the structural invariants: Hermitian drift and controls

@@ -168,3 +168,30 @@ func TestChainBounds(t *testing.T) {
 		t.Fatal("ForQubits(3) should use the chain model")
 	}
 }
+
+func TestAssembleIntoMatchesAssemble(t *testing.T) {
+	for _, sys := range []*System{OneQubit(Config{}), TwoQubit(Config{Detuning: 0.01})} {
+		amps := make([]float64, len(sys.Controls))
+		for i := range amps {
+			amps[i] = 0.01 * float64(i+1)
+		}
+		amps[0] = 0 // zero amplitude short-circuits; must still match
+		want := sys.Assemble(amps)
+		dst := cmat.New(sys.Dim, sys.Dim)
+		dst.Set(0, 0, 99) // stale contents must be overwritten
+		sys.AssembleInto(dst, amps)
+		if !dst.Equal(want) {
+			t.Fatalf("%s: AssembleInto != Assemble", sys.Name)
+		}
+	}
+}
+
+func TestAssembleIntoWrongAmpsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on amplitude count mismatch")
+		}
+	}()
+	sys := OneQubit(Config{})
+	sys.AssembleInto(cmat.New(2, 2), []float64{0.1})
+}

@@ -32,6 +32,7 @@ func MinimizeBFGS(obj Objective, x0 []float64, opts Options) *Result {
 	gradNew := make([]float64, n)
 	s := make([]float64, n)
 	y := make([]float64, n)
+	hy := make([]float64, n)
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		if cost <= opts.TargetCost {
@@ -70,7 +71,7 @@ func MinimizeBFGS(obj Objective, x0 []float64, opts Options) *Result {
 		}
 		sy := dot(s, y)
 		if sy > 1e-12*norm2(s)*norm2(y) {
-			updateInverseHessian(hInv, s, y, sy, n)
+			updateInverseHessian(hInv, s, y, hy, sy, n)
 		} else {
 			resetH()
 		}
@@ -82,11 +83,11 @@ func MinimizeBFGS(obj Objective, x0 []float64, opts Options) *Result {
 }
 
 // updateInverseHessian applies the BFGS update
-// H ← (I − ρ·s·yᵀ)·H·(I − ρ·y·sᵀ) + ρ·s·sᵀ with ρ = 1/(yᵀs).
-func updateInverseHessian(hInv, s, y []float64, sy float64, n int) {
+// H ← (I − ρ·s·yᵀ)·H·(I − ρ·y·sᵀ) + ρ·s·sᵀ with ρ = 1/(yᵀs), using the
+// caller's hy buffer for H·y. The update term is symmetric and H stays
+// symmetric, so only the upper triangle is computed and then mirrored.
+func updateInverseHessian(hInv, s, y, hy []float64, sy float64, n int) {
 	rho := 1 / sy
-	// hy = H·y
-	hy := make([]float64, n)
 	for i := 0; i < n; i++ {
 		var sum float64
 		row := hInv[i*n : (i+1)*n]
@@ -99,8 +100,13 @@ func updateInverseHessian(hInv, s, y []float64, sy float64, n int) {
 	// H += ρ²·(yᵀHy)·s·sᵀ + ρ·s·sᵀ − ρ·(s·hyᵀ + hy·sᵀ)
 	c1 := rho*rho*yhy + rho
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			hInv[i*n+j] += c1*s[i]*s[j] - rho*(s[i]*hy[j]+hy[i]*s[j])
+		si, hyi := s[i], hy[i]
+		for j := i; j < n; j++ {
+			d := c1*si*s[j] - rho*(si*hy[j]+hyi*s[j])
+			hInv[i*n+j] += d
+			if i != j {
+				hInv[j*n+i] += d
+			}
 		}
 	}
 }
@@ -122,6 +128,10 @@ func MinimizeLBFGS(obj Objective, x0 []float64, opts Options) *Result {
 	dir := make([]float64, n)
 	xNew := make([]float64, n)
 	gradNew := make([]float64, n)
+	alphas := make([]float64, m+1)
+	// History slices evicted from the ring are recycled here instead of
+	// re-allocated every accepted step.
+	var spareS, spareY []float64
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		if cost <= opts.TargetCost {
@@ -136,7 +146,7 @@ func MinimizeLBFGS(obj Objective, x0 []float64, opts Options) *Result {
 		// Two-loop recursion.
 		copy(dir, grad)
 		k := len(sHist)
-		alphas := make([]float64, k)
+		alphas := alphas[:k]
 		for i := k - 1; i >= 0; i-- {
 			alphas[i] = rhoHist[i] * dot(sHist[i], dir)
 			axpy(dir, -alphas[i], yHist[i])
@@ -162,8 +172,12 @@ func MinimizeLBFGS(obj Objective, x0 []float64, opts Options) *Result {
 		if !ok {
 			return &Result{X: x, Cost: cost, Iterations: iter, FuncEvals: st.evals, Reason: "line search failed"}
 		}
-		s := make([]float64, n)
-		y := make([]float64, n)
+		s, y := spareS, spareY
+		spareS, spareY = nil, nil
+		if s == nil {
+			s = make([]float64, n)
+			y = make([]float64, n)
+		}
 		for i := 0; i < n; i++ {
 			s[i] = xNew[i] - x[i]
 			y[i] = gradNew[i] - grad[i]
@@ -173,10 +187,13 @@ func MinimizeLBFGS(obj Objective, x0 []float64, opts Options) *Result {
 			yHist = append(yHist, y)
 			rhoHist = append(rhoHist, 1/sy)
 			if len(sHist) > m {
+				spareS, spareY = sHist[0], yHist[0]
 				sHist = sHist[1:]
 				yHist = yHist[1:]
 				rhoHist = rhoHist[1:]
 			}
+		} else {
+			spareS, spareY = s, y
 		}
 		copy(x, xNew)
 		copy(grad, gradNew)

@@ -124,6 +124,7 @@ func GradientDescent(obj Objective, x0 []float64, opts Options) *Result {
 	n := len(x0)
 	x := append([]float64(nil), x0...)
 	grad := make([]float64, n)
+	trial := make([]float64, n)
 	cost := obj.Gradient(x, grad)
 	st.evals++
 
@@ -138,7 +139,6 @@ func GradientDescent(obj Objective, x0 []float64, opts Options) *Result {
 			return &Result{X: x, Cost: cost, Iterations: iter, FuncEvals: st.evals, Reason: "time budget exhausted"}
 		}
 		step := opts.LearningRate
-		trial := make([]float64, n)
 		var trialCost float64
 		for k := 0; ; k++ {
 			for i := range trial {

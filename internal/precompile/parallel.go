@@ -171,6 +171,11 @@ func parallelClass(out *ParallelBuildResult, mu *sync.Mutex, class []*grouping.U
 	// Run the schedules concurrently, one goroutine per part.
 	gopts := cfg.Grape
 	gopts.Segments = SegmentsFor(size)
+	if workers > 1 && gopts.Parallel == 0 {
+		// Group-level parallelism already saturates the cores; per-segment
+		// workers inside each GRAPE evaluation would only oversubscribe.
+		gopts.Parallel = -1
+	}
 	sopts := cfg.searchFor(size)
 
 	trained := make([]*pulse.Pulse, len(class))

@@ -38,6 +38,7 @@ import (
 	"accqoc/internal/mapping"
 	"accqoc/internal/precompile"
 	"accqoc/internal/pulse"
+	"accqoc/internal/seedindex"
 	"accqoc/internal/simgraph"
 	"accqoc/internal/similarity"
 	"accqoc/internal/topology"
@@ -72,23 +73,38 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Compiler carries the configuration and the (growing) pulse library.
+// Compiler carries the configuration, the (growing) pulse library, and
+// the warm-start seed index kept coherent with it.
 type Compiler struct {
-	opts Options
-	lib  *precompile.Library
+	opts  Options
+	lib   *precompile.Library
+	seeds *seedindex.Index
 }
 
 // New returns a Compiler with an empty pulse library.
 func New(opts Options) *Compiler {
-	return &Compiler{opts: opts.withDefaults(), lib: precompile.NewLibrary()}
+	opts = opts.withDefaults()
+	return &Compiler{
+		opts:  opts,
+		lib:   precompile.NewLibrary(),
+		seeds: seedindex.New(opts.Precompile.Similarity, opts.Precompile.Ham),
+	}
 }
 
 // Library exposes the current pulse library (for saving, inspection, or
-// seeding another compiler).
+// seeding another compiler). Mutating the returned library directly
+// bypasses the seed index; use SetLibrary to swap in an edited one.
 func (c *Compiler) Library() *precompile.Library { return c.lib }
 
-// SetLibrary replaces the pulse library (e.g. one loaded from disk).
-func (c *Compiler) SetLibrary(lib *precompile.Library) { c.lib = lib }
+// SetLibrary replaces the pulse library (e.g. one loaded from disk) and
+// rebuilds the seed index over it — each entry's achieved unitary is
+// propagated once here, so later seed lookups cost only similarity
+// distances.
+func (c *Compiler) SetLibrary(lib *precompile.Library) {
+	c.lib = lib
+	c.seeds = seedindex.New(c.opts.Precompile.Similarity, c.opts.Precompile.Ham)
+	c.seeds.AddLibrary(lib)
+}
 
 // Options returns the effective configuration.
 func (c *Compiler) Options() Options { return c.opts }
@@ -163,6 +179,7 @@ func (c *Compiler) Profile(programs []*circuit.Circuit) (*ProfileResult, error) 
 	}
 	// Merge into the live library (later profiles extend earlier ones).
 	c.lib.Merge(lib)
+	c.seeds.AddLibrary(lib)
 	return &ProfileResult{Programs: len(programs), UniqueGroups: len(uniq), Stats: stats}, nil
 }
 
@@ -188,6 +205,7 @@ func (c *Compiler) ProfileParallel(programs []*circuit.Circuit, workers int) (*P
 		return nil, err
 	}
 	c.lib.Merge(res.Library)
+	c.seeds.AddLibrary(res.Library)
 	return &ProfileResult{Programs: len(programs), UniqueGroups: len(uniq), Stats: res.Stats}, nil
 }
 
@@ -372,7 +390,7 @@ func (c *Compiler) trainUncovered(uncovered []*grouping.UniqueGroup) (int, error
 				// pulse when one is similar enough (§V-C). Its latency
 				// doubles as the binary-search bracket hint.
 				var hint float64
-				seed, hint = c.librarySeed(us[step.Group], size, fn)
+				seed, hint = c.librarySeed(us[step.Group], size)
 				stepSopts.HintDuration = hint
 			}
 			sres, cerr := grape.CompileBinarySearch(sys, us[step.Group], gopts, stepSopts, seed)
@@ -384,7 +402,7 @@ func (c *Compiler) trainUncovered(uncovered []*grouping.UniqueGroup) (int, error
 			totalIters += sres.TotalIterations
 			trained[step.Group] = sres.Pulse
 			durations[step.Group] = sres.Duration
-			c.lib.Entries[class[step.Group].Key] = &precompile.Entry{
+			entry := &precompile.Entry{
 				Key:        class[step.Group].Key,
 				NumQubits:  size,
 				Pulse:      sres.Pulse,
@@ -393,34 +411,26 @@ func (c *Compiler) trainUncovered(uncovered []*grouping.UniqueGroup) (int, error
 				Frequency:  class[step.Group].Count,
 				Infidelity: sres.Infidelity,
 			}
+			c.lib.Entries[entry.Key] = entry
+			// Index under the training target (within TargetInfidelity of
+			// the achieved unitary) so the insert costs no propagation and
+			// later groups in this same compilation can seed from it.
+			c.seeds.InsertWithUnitary(entry, us[step.Group])
 		}
 	}
 	return totalIters, nil
 }
 
-// librarySeed finds the most similar covered pulse of the same size, if
-// its distance is below a liberal threshold. It returns the pulse and its
-// latency (the binary-search hint), or (nil, 0).
-func (c *Compiler) librarySeed(u *cmat.Matrix, size int, fn similarity.Func) (*pulse.Pulse, float64) {
-	const threshold = 0.5
-	var best *precompile.Entry
-	bestDist := threshold
-	sys, err := hamiltonian.ForQubits(size, c.opts.Precompile.Ham)
-	if err != nil {
+// librarySeed finds the most similar covered pulse of the same size via
+// the seed index, admitted under similarity.WarmThreshold for the
+// compiler's similarity function — the admission scale is function- and
+// dimension-dependent (a fixed cut-off silently rejected every L1/L2
+// neighbor of multi-qubit groups). It returns the pulse and its latency
+// (the binary-search hint), or (nil, 0).
+func (c *Compiler) librarySeed(u *cmat.Matrix, size int) (*pulse.Pulse, float64) {
+	seed, ok := c.seeds.Nearest(u, size)
+	if !ok {
 		return nil, 0
 	}
-	for _, e := range c.lib.Entries {
-		if e.NumQubits != size {
-			continue
-		}
-		cand := grape.Propagate(sys, e.Pulse)
-		d, derr := similarity.Distance(fn, u, cand)
-		if derr == nil && d < bestDist {
-			best, bestDist = e, d
-		}
-	}
-	if best == nil {
-		return nil, 0
-	}
-	return best.Pulse, best.LatencyNs
+	return seed.Pulse, seed.LatencyNs
 }

@@ -1,14 +1,19 @@
 package accqoc
 
 import (
+	"math"
 	"testing"
 
 	"accqoc/internal/circuit"
+	"accqoc/internal/cmat"
 	"accqoc/internal/gate"
 	"accqoc/internal/grape"
 	"accqoc/internal/grouping"
+	"accqoc/internal/hamiltonian"
 	"accqoc/internal/mapping"
 	"accqoc/internal/precompile"
+	"accqoc/internal/pulse"
+	"accqoc/internal/similarity"
 	"accqoc/internal/topology"
 )
 
@@ -238,5 +243,87 @@ func TestSetLibraryRoundTrip(t *testing.T) {
 	}
 	if res.CoverageRate != 1 {
 		t.Fatal("transplanted library should fully cover")
+	}
+}
+
+// TestLibrarySeedL1AdmitsSimilar2QNeighbor is the regression for the
+// fixed librarySeed threshold: it used a flat 0.5 cut-off for every
+// similarity function, but entry-wise L1 distances between 4×4 unitaries
+// live on a ~d·√d scale (WarmThreshold(L1, 4) = 2.0), so genuinely
+// similar 2Q neighbors were silently rejected. The test builds a library
+// entry, queries with a unitary whose L1 distance is provably above the
+// old cut-off and below the correct one, and requires the seed to be
+// admitted.
+func TestLibrarySeedL1AdmitsSimilar2QNeighbor(t *testing.T) {
+	opts := fastOptions(topology.Linear(3))
+	opts.Precompile.Similarity = similarity.L1
+	c := New(opts)
+
+	sys, err := hamiltonian.ForQubits(2, opts.Precompile.Ham)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A handmade (untrained) pulse is fine: librarySeed only compares the
+	// entry's achieved unitary with the query.
+	p := pulse.New(sys.ControlNames, 16, 10)
+	for ch := range p.Amps {
+		for s := range p.Amps[ch] {
+			p.Amps[ch][s] = 0.002 * float64((ch+1)*(s+1))
+		}
+	}
+	lib := precompile.NewLibrary()
+	lib.Entries["neighbor"] = &precompile.Entry{
+		Key: "neighbor", NumQubits: 2, Pulse: p, LatencyNs: p.Duration(),
+	}
+	c.SetLibrary(lib)
+
+	base := grape.Propagate(sys, p)
+	// Search for a phase perturbation that lands strictly between the old
+	// flat threshold and the dimension-correct one.
+	oldThreshold := 0.5
+	newThreshold := similarity.WarmThreshold(similarity.L1, sys.Dim)
+	var query *cmat.Matrix
+	var dist float64
+	for theta := 0.05; theta < 3.2; theta += 0.05 {
+		ph := complex(math.Cos(theta/2), math.Sin(theta/2))
+		rot := cmat.FromRows([][]complex128{
+			{1 / ph, 0, 0, 0},
+			{0, 1 / ph, 0, 0},
+			{0, 0, ph, 0},
+			{0, 0, 0, ph},
+		})
+		q := cmat.Mul(base, rot)
+		d, derr := similarity.Distance(similarity.L1, q, base)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if d > oldThreshold+0.1 && d < newThreshold-0.1 {
+			query, dist = q, d
+			break
+		}
+	}
+	if query == nil {
+		t.Fatal("could not construct a query in the regression window")
+	}
+
+	seed, hint := c.librarySeed(query, 2)
+	if seed == nil {
+		t.Fatalf("L1 neighbor at distance %.3f (old cut-off %.1f, correct threshold %.1f) rejected as seed",
+			dist, oldThreshold, newThreshold)
+	}
+	if hint != p.Duration() {
+		t.Fatalf("seed hint %v, want entry latency %v", hint, p.Duration())
+	}
+
+	// Sanity: a maximally dissimilar query is still rejected under the
+	// correct threshold.
+	var rows [][]complex128
+	for i := 0; i < 4; i++ {
+		row := make([]complex128, 4)
+		row[3-i] = 1i
+		rows = append(rows, row)
+	}
+	if far, _ := c.librarySeed(cmat.FromRows(rows), 2); far != nil {
+		t.Fatal("anti-diagonal unitary admitted as L1 seed")
 	}
 }

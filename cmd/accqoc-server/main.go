@@ -10,6 +10,11 @@
 //	accqoc-server -addr :8080 -lib pulses.snap
 //	accqoc-server -device linear16 -policy swap2b3l -workers 8 -capacity 4096
 //	accqoc-server -pprof localhost:6060   # expose net/http/pprof for live profiling
+//	accqoc-server -seed-index=false       # train cache misses cold (A/B baseline)
+//
+// Cache misses warm-start by default: uncovered groups are MST-ordered
+// per request and seeded from the similarity index over covered library
+// entries (-seed-index=false disables).
 //
 // The snapshot is loaded at boot (if present), saved on SIGINT/SIGTERM
 // shutdown, and optionally saved on a timer with -snapshot-every.
@@ -54,6 +59,8 @@ func main() {
 	maxIter := flag.Int("max-iter", 600, "GRAPE iteration cap per optimization")
 	grapeParallel := flag.Int("grape-parallel", 0,
 		"per-segment GRAPE workers per training (0 = auto: sequential when the request pool has >1 worker; negative = always sequential)")
+	seedIndex := flag.Bool("seed-index", true,
+		"warm-start cache-miss trainings from the similarity seed index (MST-ordered per request); false trains misses cold")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (empty = disabled)")
 	flag.Parse()
 
@@ -109,10 +116,11 @@ func main() {
 				Grape: grape.Options{TargetInfidelity: *fidelity, MaxIterations: *maxIter, Parallel: segWorkers},
 			},
 		},
-		Store:      store,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		MaxGates:   *maxGates,
+		Store:            store,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		MaxGates:         *maxGates,
+		DisableSeedIndex: !*seedIndex,
 	})
 
 	if *pprofAddr != "" {
@@ -161,8 +169,8 @@ func main() {
 	}
 
 	go func() {
-		log.Printf("accqoc-server listening on %s (device %s, policy %s, %d shards)",
-			*addr, dev.Name, policy.Name, *shards)
+		log.Printf("accqoc-server listening on %s (device %s, policy %s, %d shards, seed index %v)",
+			*addr, dev.Name, policy.Name, *shards, *seedIndex)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}

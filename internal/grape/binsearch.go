@@ -103,8 +103,19 @@ func CompileBinarySearch(sys *hamiltonian.System, target *cmat.Matrix, opts Opti
 
 	tried := false
 	if h := sopts.HintDuration; h > 0 {
+		// Hint-only: a similar group's latency brackets the speed limit
+		// loosely, so hedge 25% above it. With a seed pulse the hint is
+		// the seed's *native* duration: probing exactly there reuses the
+		// waveform on an identical grid (resampling to a stretched grid
+		// distorts every rotation and squanders the warm start), and a
+		// seeded probe that converges does so almost immediately.
 		hintHi := h * 1.25
-		if hintHi < lo+sopts.Resolution {
+		if seed != nil && h >= lo && h <= hi {
+			// Even when h sits within Resolution of the floor: bumping a
+			// seeded probe off its native grid would reintroduce the
+			// stretch distortion.
+			hintHi = h
+		} else if hintHi < lo+sopts.Resolution {
 			hintHi = lo + sopts.Resolution
 		}
 		if hintHi < hi {

@@ -25,12 +25,14 @@ type Options struct {
 	// Shards is the stripe count, rounded up to a power of two. More
 	// shards mean less lock contention at a small fixed memory cost.
 	Shards int
-	// Capacity approximately bounds the entry count. It is enforced per
-	// shard at ceil(Capacity/Shards) entries with LRU eviction, so the
-	// effective total bound is that value times the shard count (up to
-	// one extra entry per shard over Capacity), and a shard whose keys
-	// hash hot can evict while the store as a whole is under Capacity.
-	// 0 means unlimited.
+	// Capacity bounds the total entry count exactly: per-shard LRU caps
+	// are Capacity/Shards with the remainder spread one-per-shard, so the
+	// caps sum to Capacity. When Capacity is smaller than the shard
+	// count, the shard count is reduced (keeping a power of two) so every
+	// shard can hold at least one entry. A shard whose keys hash hot can
+	// still evict while the store as a whole is under Capacity — inherent
+	// to sharding — but the store never exceeds Capacity. 0 means
+	// unlimited.
 	Capacity int
 }
 
@@ -47,8 +49,32 @@ func (o Options) withDefaults() Options {
 	if o.Capacity < 0 {
 		o.Capacity = 0
 	}
+	if o.Capacity > 0 {
+		// Every shard must be able to hold at least one entry, or keys
+		// hashing to a zero-cap shard could never stay resident. Halving
+		// keeps the count a power of two for mask selection.
+		for o.Shards > o.Capacity {
+			o.Shards >>= 1
+		}
+	}
 	return o
 }
+
+// Hook observes mutations of the store's entry set — the coherence
+// channel for derived structures such as the warm-start seed index.
+// Callbacks run synchronously under the owning shard's lock: mutations
+// for any one key are therefore ordered, but implementations must not
+// call back into the Store (deadlock) and should keep heavy work
+// amortized (the seed index pays one pulse propagation per add, well
+// under the training that produced the entry).
+type Hook interface {
+	// EntryAdded fires when a key is inserted or its entry replaced.
+	EntryAdded(e *precompile.Entry)
+	// EntryRemoved fires when a key is evicted.
+	EntryRemoved(key string)
+}
+
+type hookCell struct{ h Hook }
 
 // Stats is a point-in-time counter snapshot.
 type Stats struct {
@@ -70,10 +96,10 @@ type Stats struct {
 // Store is a sharded concurrent pulse-library store. Entries are treated
 // as immutable once stored: callers must not mutate a returned *Entry.
 type Store struct {
-	opts     Options
-	seed     maphash.Seed
-	shards   []*shard
-	perShard int // per-shard LRU capacity, 0 = unlimited
+	opts   Options
+	seed   maphash.Seed
+	shards []*shard
+	hook   atomic.Pointer[hookCell]
 
 	hits, misses, evictions, inserts atomic.Int64
 	trainings, dedup, trainFailures  atomic.Int64
@@ -81,6 +107,7 @@ type Store struct {
 
 type shard struct {
 	mu     sync.Mutex
+	cap    int                      // LRU capacity, 0 = unlimited
 	items  map[string]*list.Element // value: *node
 	lru    *list.List               // front = most recently used
 	flight map[string]*flightCall
@@ -105,20 +132,46 @@ func New(opts Options) *Store {
 		seed:   maphash.MakeSeed(),
 		shards: make([]*shard, opts.Shards),
 	}
+	// Per-shard caps sum exactly to Capacity: base share everywhere, the
+	// remainder spread one-per-shard from the front.
+	base, rem := 0, 0
 	if opts.Capacity > 0 {
-		s.perShard = (opts.Capacity + opts.Shards - 1) / opts.Shards
-		if s.perShard < 1 {
-			s.perShard = 1
-		}
+		base, rem = opts.Capacity/opts.Shards, opts.Capacity%opts.Shards
 	}
 	for i := range s.shards {
+		c := 0
+		if opts.Capacity > 0 {
+			c = base
+			if i < rem {
+				c++
+			}
+		}
 		s.shards[i] = &shard{
+			cap:    c,
 			items:  map[string]*list.Element{},
 			lru:    list.New(),
 			flight: map[string]*flightCall{},
 		}
 	}
 	return s
+}
+
+// SetHook registers the mutation observer (nil clears it). Mutations
+// racing with the registration may be missed; callers that need a
+// complete view (e.g. the seed index) should backfill from Snapshot()
+// after registering.
+func (s *Store) SetHook(h Hook) { s.hook.Store(&hookCell{h: h}) }
+
+func (s *Store) hookAdded(e *precompile.Entry) {
+	if c := s.hook.Load(); c != nil && c.h != nil {
+		c.h.EntryAdded(e)
+	}
+}
+
+func (s *Store) hookRemoved(key string) {
+	if c := s.hook.Load(); c != nil && c.h != nil {
+		c.h.EntryRemoved(key)
+	}
 }
 
 // FromLibrary returns a store pre-populated with a library's entries (for
@@ -181,19 +234,23 @@ func (s *Store) putLocked(sh *shard, e *precompile.Entry) {
 	if el, ok := sh.items[e.Key]; ok {
 		el.Value.(*node).entry = e
 		sh.lru.MoveToFront(el)
+		s.hookAdded(e)
 		return
 	}
 	sh.items[e.Key] = sh.lru.PushFront(&node{key: e.Key, entry: e})
 	s.inserts.Add(1)
-	if s.perShard > 0 {
-		for sh.lru.Len() > s.perShard {
+	s.hookAdded(e)
+	if sh.cap > 0 {
+		for sh.lru.Len() > sh.cap {
 			oldest := sh.lru.Back()
 			if oldest == nil {
 				break
 			}
 			sh.lru.Remove(oldest)
-			delete(sh.items, oldest.Value.(*node).key)
+			key := oldest.Value.(*node).key
+			delete(sh.items, key)
 			s.evictions.Add(1)
+			s.hookRemoved(key)
 		}
 	}
 }

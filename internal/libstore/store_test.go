@@ -385,3 +385,140 @@ func TestSaveSnapshotAtomic(t *testing.T) {
 		t.Fatalf("reloaded %d entries, want 2", len(lib.Entries))
 	}
 }
+
+// TestStoreCapacityExactBound pins the capacity fix: the old
+// ceil(Capacity/Shards) per-shard rounding let the store hold up to
+// Shards−1 entries beyond the requested Capacity.
+func TestStoreCapacityExactBound(t *testing.T) {
+	for _, tc := range []struct{ shards, capacity int }{
+		{16, 100}, // remainder 4: old bound was 16·7 = 112
+		{8, 9},    // remainder 1: old bound was 8·2 = 16
+		{4, 4},    // divides evenly
+		{16, 5},   // capacity below shard count: shards clamp to 4
+		{16, 1},   // degenerate: single-entry store
+	} {
+		s := New(Options{Shards: tc.shards, Capacity: tc.capacity})
+		for i := 0; i < 4*tc.capacity+64; i++ {
+			s.Put(synthEntry(i))
+		}
+		if got := s.Len(); got > tc.capacity {
+			t.Errorf("shards=%d capacity=%d: %d entries resident, exceeds capacity",
+				tc.shards, tc.capacity, got)
+		}
+		if st := s.Stats(); st.Entries > tc.capacity {
+			t.Errorf("shards=%d capacity=%d: Stats.Entries = %d", tc.shards, tc.capacity, st.Entries)
+		}
+	}
+}
+
+// recordingHook captures mutation callbacks for coherence assertions.
+// Callbacks for one key are ordered (they run under the key's shard
+// lock), so the last event per key is the key's residency — the same
+// property the seed index relies on. adds counts every EntryAdded,
+// including replacements of resident keys.
+type recordingHook struct {
+	mu       sync.Mutex
+	resident map[string]bool
+	adds     map[string]int
+}
+
+func newRecordingHook() *recordingHook {
+	return &recordingHook{resident: map[string]bool{}, adds: map[string]int{}}
+}
+
+func (h *recordingHook) EntryAdded(e *precompile.Entry) {
+	h.mu.Lock()
+	h.resident[e.Key] = true
+	h.adds[e.Key]++
+	h.mu.Unlock()
+}
+
+func (h *recordingHook) EntryRemoved(key string) {
+	h.mu.Lock()
+	h.resident[key] = false
+	h.mu.Unlock()
+}
+
+// live returns the set of keys the hook believes are resident.
+func (h *recordingHook) live() map[string]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := map[string]bool{}
+	for k, ok := range h.resident {
+		if ok {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// TestStoreHookMirrorsMutations drives inserts, replacements and LRU
+// evictions and checks the hook's view matches the store exactly.
+func TestStoreHookMirrorsMutations(t *testing.T) {
+	s := New(Options{Shards: 1, Capacity: 3})
+	h := newRecordingHook()
+	s.SetHook(h)
+
+	for i := 0; i < 10; i++ {
+		s.Put(synthEntry(i))
+	}
+	s.Put(synthEntry(9)) // replacement fires EntryAdded again
+	_, _, err := s.GetOrTrain("key-0042", func() (*precompile.Entry, error) {
+		return synthEntry(42), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live := h.live()
+	if len(live) != s.Len() {
+		t.Fatalf("hook sees %d live keys, store holds %d", len(live), s.Len())
+	}
+	for k := range live {
+		if !s.Contains(k) {
+			t.Errorf("hook believes %q resident, store disagrees", k)
+		}
+	}
+	h.mu.Lock()
+	if h.adds["key-0009"] != 2 {
+		t.Errorf("replacement fired EntryAdded %d times, want 2", h.adds["key-0009"])
+	}
+	h.mu.Unlock()
+}
+
+// TestStoreHookUnderConcurrency re-runs the hammer with a hook attached;
+// meaningful under -race (hook callbacks run inside shard critical
+// sections).
+func TestStoreHookUnderConcurrency(t *testing.T) {
+	s := New(Options{Shards: 4, Capacity: 32})
+	h := newRecordingHook()
+	s.SetHook(h)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g*31 + i*17) % 64
+				if i%2 == 0 {
+					s.Put(synthEntry(k))
+				} else {
+					key := fmt.Sprintf("key-%04d", k)
+					_, _, _ = s.GetOrTrain(key, func() (*precompile.Entry, error) {
+						return synthEntry(k), nil
+					})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	live := h.live()
+	if len(live) != s.Len() {
+		t.Fatalf("hook sees %d live keys, store holds %d", len(live), s.Len())
+	}
+	for k := range live {
+		if !s.Contains(k) {
+			t.Errorf("hook believes %q resident, store disagrees", k)
+		}
+	}
+}

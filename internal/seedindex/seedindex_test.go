@@ -1,0 +1,230 @@
+package seedindex
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"accqoc/internal/cmat"
+	"accqoc/internal/grape"
+	"accqoc/internal/hamiltonian"
+	"accqoc/internal/precompile"
+	"accqoc/internal/pulse"
+	"accqoc/internal/similarity"
+)
+
+// rampPulse builds a deterministic non-trivial waveform matched to the
+// system's control channels.
+func rampPulse(t *testing.T, numQubits int, scale float64) *pulse.Pulse {
+	t.Helper()
+	sys, err := hamiltonian.ForQubits(numQubits, hamiltonian.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pulse.New(sys.ControlNames, 8, 2.5)
+	for c := range p.Amps {
+		for s := range p.Amps[c] {
+			p.Amps[c][s] = scale * 0.01 * float64((c+1)*(s+1))
+		}
+	}
+	return p
+}
+
+func entryFor(t *testing.T, key string, numQubits int, scale float64) *precompile.Entry {
+	t.Helper()
+	p := rampPulse(t, numQubits, scale)
+	return &precompile.Entry{Key: key, NumQubits: numQubits, Pulse: p, LatencyNs: p.Duration()}
+}
+
+// achieved propagates an entry's pulse the way Insert does, for building
+// query unitaries near a known index entry.
+func achieved(t *testing.T, e *precompile.Entry) *cmat.Matrix {
+	t.Helper()
+	sys, err := hamiltonian.ForQubits(e.NumQubits, hamiltonian.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return grape.Propagate(sys, e.Pulse)
+}
+
+func TestNearestReturnsClosestWithinThreshold(t *testing.T) {
+	x := New(similarity.TraceFid, hamiltonian.Config{})
+	near := entryFor(t, "near", 1, 1)
+	far := entryFor(t, "far", 1, 40)
+	x.Insert(near)
+	x.Insert(far)
+
+	q := achieved(t, near)
+	seed, ok := x.Nearest(q, 1)
+	if !ok {
+		t.Fatal("no seed for a unitary identical to an indexed entry")
+	}
+	if seed.Key != "near" {
+		t.Fatalf("seed = %q, want \"near\"", seed.Key)
+	}
+	if seed.Distance > 1e-9 {
+		t.Fatalf("distance to itself = %v", seed.Distance)
+	}
+	if seed.LatencyNs != near.LatencyNs {
+		t.Fatalf("seed latency %v, want %v", seed.LatencyNs, near.LatencyNs)
+	}
+}
+
+func TestNearestGatesOnWarmThreshold(t *testing.T) {
+	x := New(similarity.TraceFid, hamiltonian.Config{})
+	x.Insert(entryFor(t, "a", 1, 1))
+
+	// A Pauli-X is nearly maximally distant from the near-identity
+	// achieved unitary of the small ramp pulse: distance ≈ 1 > 0.3.
+	q := cmat.FromRows([][]complex128{{0, 1}, {1, 0}})
+	if _, ok := x.Nearest(q, 1); ok {
+		t.Fatal("dissimilar unitary admitted as seed")
+	}
+	st := x.Stats()
+	if st.Lookups != 1 || st.Seeded != 0 {
+		t.Fatalf("stats = %+v, want 1 lookup / 0 seeded", st)
+	}
+}
+
+// TestNearestL1UsesDimensionScaledThreshold pins the scale-correctness the
+// fixed 0.5 cut-off got wrong: an L1 distance of ~1 between 4×4 unitaries
+// is well inside WarmThreshold(L1, 4) = 2 and must be admitted.
+func TestNearestL1UsesDimensionScaledThreshold(t *testing.T) {
+	x := New(similarity.L1, hamiltonian.Config{})
+	e := entryFor(t, "cx-ish", 2, 1)
+	x.Insert(e)
+
+	base := achieved(t, e)
+	q := perturb(t, base, similarity.L1, 0.5, similarity.WarmThreshold(similarity.L1, 4))
+	seed, ok := x.Nearest(q, 2)
+	if !ok {
+		t.Fatal("L1-similar 2Q unitary rejected: threshold not dimension-scaled")
+	}
+	if seed.Key != "cx-ish" {
+		t.Fatalf("seed = %q", seed.Key)
+	}
+}
+
+// perturb right-multiplies base by exp(-iθZ⊗I/2)-style phase rotations
+// until the distance lands strictly inside (lo, hi].
+func perturb(t *testing.T, base *cmat.Matrix, fn similarity.Func, lo, hi float64) *cmat.Matrix {
+	t.Helper()
+	for theta := 0.05; theta < 3.2; theta += 0.05 {
+		rot := cmat.FromRows([][]complex128{
+			{complex(math.Cos(theta/2), -math.Sin(theta/2)), 0, 0, 0},
+			{0, complex(math.Cos(theta/2), -math.Sin(theta/2)), 0, 0},
+			{0, 0, complex(math.Cos(theta/2), math.Sin(theta/2)), 0},
+			{0, 0, 0, complex(math.Cos(theta/2), math.Sin(theta/2))},
+		})
+		q := cmat.Mul(base, rot)
+		d, err := similarity.Distance(fn, q, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > lo && d <= hi {
+			return q
+		}
+	}
+	t.Fatalf("could not construct a unitary with %s distance in (%v, %v]", fn, lo, hi)
+	return nil
+}
+
+// TestLookupsNeverPropagate is the acceptance invariant: the propagation
+// counter moves only on Insert, never on Nearest.
+func TestLookupsNeverPropagate(t *testing.T) {
+	x := New(similarity.TraceFid, hamiltonian.Config{})
+	for i := 0; i < 5; i++ {
+		x.Insert(entryFor(t, fmt.Sprintf("e%d", i), 1, float64(i+1)))
+	}
+	after := x.Stats().Propagations
+	if after != 5 {
+		t.Fatalf("inserts propagated %d times, want 5 (once each)", after)
+	}
+	q := achieved(t, entryFor(t, "q", 1, 2))
+	for i := 0; i < 100; i++ {
+		x.Nearest(q, 1)
+	}
+	if got := x.Stats().Propagations; got != after {
+		t.Fatalf("lookups propagated: %d → %d", after, got)
+	}
+}
+
+func TestInsertWithUnitarySkipsPropagation(t *testing.T) {
+	x := New(similarity.TraceFid, hamiltonian.Config{})
+	e := entryFor(t, "known", 1, 1)
+	x.InsertWithUnitary(e, achieved(t, e))
+	if st := x.Stats(); st.Propagations != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 0 propagations / 1 entry", st)
+	}
+	if _, ok := x.Nearest(achieved(t, e), 1); !ok {
+		t.Fatal("entry inserted with known unitary not found")
+	}
+	// The hook-driven Insert that follows a pre-index (same key, same
+	// pulse) must not re-propagate...
+	x.Insert(e)
+	if st := x.Stats(); st.Propagations != 0 {
+		t.Fatalf("hook re-insert propagated: %+v", st)
+	}
+	// ...but a replaced pulse under the same key must.
+	e2 := entryFor(t, "known", 1, 7)
+	x.Insert(e2)
+	if st := x.Stats(); st.Propagations != 1 || st.Entries != 1 {
+		t.Fatalf("replacement stats = %+v, want 1 propagation / 1 entry", st)
+	}
+}
+
+func TestRemoveDropsEntry(t *testing.T) {
+	x := New(similarity.TraceFid, hamiltonian.Config{})
+	e := entryFor(t, "gone", 1, 1)
+	x.Insert(e)
+	x.Remove("gone")
+	x.Remove("never-there") // no-op
+	if x.Len() != 0 {
+		t.Fatalf("Len = %d after removal", x.Len())
+	}
+	if _, ok := x.Nearest(achieved(t, e), 1); ok {
+		t.Fatal("removed entry still seeding")
+	}
+}
+
+func TestSizeClassesAreIsolated(t *testing.T) {
+	x := New(similarity.TraceFid, hamiltonian.Config{})
+	x.Insert(entryFor(t, "one-qubit", 1, 1))
+	q := achieved(t, entryFor(t, "probe", 2, 1))
+	if _, ok := x.Nearest(q, 2); ok {
+		t.Fatal("1Q entry seeded a 2Q query")
+	}
+}
+
+// TestConcurrentInsertLookupRemove exercises the hook-driven mutation
+// pattern under the race detector.
+func TestConcurrentInsertLookupRemove(t *testing.T) {
+	x := New(similarity.TraceFid, hamiltonian.Config{})
+	q := achieved(t, entryFor(t, "probe", 1, 3))
+	// Pre-build entries: testing.T helpers must not run off the test
+	// goroutine.
+	entries := make([]*precompile.Entry, 8)
+	for i := range entries {
+		entries[i] = entryFor(t, fmt.Sprintf("k%d", i), 1, float64(i%5+1))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := (g*13 + i) % len(entries)
+				switch i % 3 {
+				case 0:
+					x.EntryAdded(entries[k])
+				case 1:
+					x.Nearest(q, 1)
+				case 2:
+					x.EntryRemoved(entries[k].Key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

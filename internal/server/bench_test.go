@@ -1,0 +1,70 @@
+package server
+
+import (
+	"testing"
+
+	"accqoc/internal/circuit"
+	"accqoc/internal/qasm"
+)
+
+// Similar 2Q pairs: one CX-anchored group whose trailing rz angle moves a
+// little, so the second program's group is a cache miss with a close
+// covered neighbor.
+const (
+	cx2qAProgram = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncx q[0],q[1];\nrz(0.2) q[1];\n"
+	cx2qBProgram = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncx q[0],q[1];\nrz(0.35) q[1];\n"
+)
+
+func mustParse(b *testing.B, src string) *circuit.Circuit {
+	b.Helper()
+	prog, err := qasm.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// benchServe measures one cache-miss service pattern: train program A on
+// a fresh server, then serve the similar program B as a miss. The
+// reported grape-iters/op is B's training cost — the paper's
+// compile-cost metric (§VI-G) — which the seed index should cut relative
+// to the cold path. GRAPE is seeded (fastOpts sets Seed), so the
+// iteration metric is deterministic; wall time on the shared bench box
+// is not the signal.
+func benchServe(b *testing.B, progA, progB string, disable bool) {
+	pa := mustParse(b, progA)
+	pb := mustParse(b, progB)
+	var iters, seeded int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(Config{Compile: fastOpts(), Workers: 1, DisableSeedIndex: disable})
+		if _, err := s.compile(pa); err != nil {
+			b.Fatal(err)
+		}
+		resp, err := s.compile(pb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters += int64(resp.TrainingIterations)
+		seeded += int64(resp.WarmSeeded)
+		s.Close()
+	}
+	b.StopTimer()
+	if !disable && seeded < int64(b.N) {
+		b.Fatalf("warm mode seeded %d of %d misses", seeded, b.N)
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "grape-iters/op")
+}
+
+// BenchmarkServeColdVsWarm is the serving-path ablation committed to
+// BENCH_warmstart.json: identical miss traffic with the seed index off
+// (cold) and on (warm).
+func BenchmarkServeColdVsWarm(b *testing.B) {
+	for _, c := range []struct{ name, a, b string }{
+		{"1q", rxAProgram, rxBProgram},
+		{"2q", cx2qAProgram, cx2qBProgram},
+	} {
+		b.Run(c.name+"/cold", func(b *testing.B) { benchServe(b, c.a, c.b, true) })
+		b.Run(c.name+"/warm", func(b *testing.B) { benchServe(b, c.a, c.b, false) })
+	}
+}

@@ -7,6 +7,15 @@
 // requests cost library lookups instead of GRAPE iterations. Concurrent
 // requests that need the same uncovered gate group trigger exactly one
 // training (the store's singleflight).
+//
+// Cache misses do not train cold: the compile path plans each request —
+// covered groups resolve as hits, the uncovered remainder is MST-ordered
+// over its similarity graph (§V-C) and trained along tree edges, with
+// identity-rooted groups anchored at their nearest covered entry from the
+// warm-start seed index (internal/seedindex, kept coherent with the store
+// through its mutation hook). Earlier-trained groups of a request seed
+// later ones; warm_seeded / seed_distance counters surface the effect in
+// the compile response and /v1/library/stats.
 package server
 
 import (
@@ -15,12 +24,14 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"accqoc"
 	"accqoc/internal/circuit"
+	"accqoc/internal/cmat"
 	"accqoc/internal/crosstalk"
 	"accqoc/internal/gatepulse"
 	"accqoc/internal/grouping"
@@ -28,6 +39,9 @@ import (
 	"accqoc/internal/libstore"
 	"accqoc/internal/precompile"
 	"accqoc/internal/qasm"
+	"accqoc/internal/seedindex"
+	"accqoc/internal/simgraph"
+	"accqoc/internal/similarity"
 	"accqoc/internal/workload"
 )
 
@@ -47,6 +61,12 @@ type Config struct {
 	MaxGates int
 	// MaxBodyBytes bounds request bodies. Default 4 MiB.
 	MaxBodyBytes int64
+	// DisableSeedIndex turns off the warm-start seed index and the
+	// plan/execute miss path: cache misses then train cold in
+	// deduplication order, reproducing the pre-index serving behavior
+	// byte for byte (useful for A/B comparison and as the determinism
+	// baseline).
+	DisableSeedIndex bool
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +112,18 @@ type CompileResponse struct {
 	FailedGroups    int     `json:"failed_groups"`
 	WarmServed      bool    `json:"warm_served"`
 
+	// TrainingIterations sums GRAPE iterations across the trainings this
+	// request executed itself (joined in-flight trainings excluded) —
+	// the compile-cost metric of §VI-G.
+	TrainingIterations int `json:"training_iterations"`
+	// WarmSeeded counts this request's trainings that warm-started from
+	// a seed (an MST neighbor trained earlier in the request, or a
+	// covered entry from the seed index) instead of a random waveform.
+	WarmSeeded int `json:"warm_seeded"`
+	// SeedDistance is the mean similarity distance of the admitted
+	// seeds; 0 when WarmSeeded is 0.
+	SeedDistance float64 `json:"seed_distance"`
+
 	QOCLatencyNs      float64 `json:"qoc_latency_ns"`
 	GateLatencyNs     float64 `json:"gate_latency_ns"`
 	LatencyReduction  float64 `json:"latency_reduction"`
@@ -99,12 +131,18 @@ type CompileResponse struct {
 
 	// CompileMillis is the server-side wall time for this request.
 	CompileMillis float64 `json:"compile_millis"`
+
+	// seedDistanceSum accumulates admitted seed distances during
+	// resolution; folded into SeedDistance before the response is sent.
+	seedDistanceSum float64
 }
 
 // StatsResponse is the GET /v1/library/stats body.
 type StatsResponse struct {
 	Library libstore.Stats `json:"library"`
-	Server  ServerStats    `json:"server"`
+	// SeedIndex reports the warm-start index; nil when disabled.
+	SeedIndex *seedindex.Stats `json:"seed_index,omitempty"`
+	Server    ServerStats      `json:"server"`
 }
 
 // ServerStats carries request-level counters.
@@ -114,8 +152,11 @@ type ServerStats struct {
 	Failures           int64   `json:"failures"`
 	Rejected           int64   `json:"rejected"` // queue-full 503s
 	TotalCompileMillis float64 `json:"total_compile_millis"`
-	Workers            int     `json:"workers"`
-	QueueDepth         int     `json:"queue_depth"`
+	// WarmSeeded totals trainings (across all requests) that started
+	// from a similarity-admitted seed.
+	WarmSeeded int64 `json:"warm_seeded"`
+	Workers    int   `json:"workers"`
+	QueueDepth int   `json:"queue_depth"`
 }
 
 type job struct {
@@ -133,6 +174,12 @@ type Server struct {
 	cfg   Config
 	comp  *accqoc.Compiler
 	store *libstore.Store
+	// seeds is the warm-start index over covered store entries, kept
+	// coherent through the store's mutation hook; nil when disabled.
+	seeds *seedindex.Index
+	// simFn is the similarity function used for MST planning and the
+	// seed index.
+	simFn similarity.Func
 	mux   *http.ServeMux
 
 	jobs  chan *job
@@ -141,7 +188,7 @@ type Server struct {
 	start time.Time
 
 	requests, failures, rejected atomic.Int64
-	compileNs                    atomic.Int64
+	compileNs, warmSeeded        atomic.Int64
 
 	// closeMu orders handler enqueues against Close: an enqueue holds the
 	// read lock, so once Close holds the write lock and sets closed, every
@@ -163,6 +210,18 @@ func New(cfg Config) *Server {
 		jobs:  make(chan *job, cfg.QueueDepth),
 		quit:  make(chan struct{}),
 		start: time.Now(),
+	}
+	s.simFn = s.comp.Options().Precompile.Similarity
+	if s.simFn == "" {
+		s.simFn = similarity.TraceFid
+	}
+	if !cfg.DisableSeedIndex {
+		s.seeds = seedindex.New(s.simFn, s.comp.Options().Precompile.Ham)
+		// Hook first, backfill second: entries racing in between are
+		// indexed twice (idempotent), never missed. The backfill pays
+		// one propagation per pre-loaded entry (snapshot boot).
+		s.store.SetHook(s.seeds)
+		s.seeds.AddLibrary(s.store.Snapshot())
 	}
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("GET /v1/library/stats", s.handleStats)
@@ -238,9 +297,163 @@ func (s *Server) worker() {
 	}
 }
 
-// compile runs the serving-side pipeline: Prepare, store-backed coverage,
-// singleflight training of uncovered groups, and Algorithm 3 latency
-// assembly.
+// trainStep is one planned cold training: a unique group, its canonical
+// target unitary, and its warm-start edge from the similarity MST.
+type trainStep struct {
+	// cold indexes the request's cold set; trained results are recorded
+	// under it so MST children can find their parent's entry.
+	cold    int
+	uniq    *grouping.UniqueGroup
+	unitary *cmat.Matrix
+	// warmFrom is the MST parent's cold index, -1 when the group is
+	// rooted at the identity (then the seed index supplies the anchor).
+	warmFrom int
+	// warmDist is the MST edge weight to warmFrom.
+	warmDist float64
+}
+
+// planColdSteps orders a request's uncovered unique groups for training:
+// per size class, a Prim MST over the similarity graph (identity-rooted,
+// §V-C) fixes both the order and the warm-start edges, exactly as the
+// batch pre-compilation does — but over the live miss set of one
+// request. Singleton classes train directly. Classes are planned in
+// ascending size for determinism.
+func planColdSteps(cold []*grouping.UniqueGroup, fn similarity.Func) ([]trainStep, error) {
+	if len(cold) == 0 {
+		return nil, nil
+	}
+	us := make([]*cmat.Matrix, len(cold))
+	bySize := map[int][]int{}
+	for i, u := range cold {
+		m, err := u.Group.Unitary()
+		if err != nil {
+			return nil, err
+		}
+		us[i] = precompile.CanonicalUnitary(m)
+		bySize[u.NumQubits] = append(bySize[u.NumQubits], i)
+	}
+	sizes := make([]int, 0, len(bySize))
+	for sz := range bySize {
+		sizes = append(sizes, sz)
+	}
+	sort.Ints(sizes)
+
+	steps := make([]trainStep, 0, len(cold))
+	for _, sz := range sizes {
+		idxs := bySize[sz]
+		if len(idxs) == 1 {
+			i := idxs[0]
+			steps = append(steps, trainStep{cold: i, uniq: cold[i], unitary: us[i], warmFrom: -1})
+			continue
+		}
+		classUs := make([]*cmat.Matrix, len(idxs))
+		for j, i := range idxs {
+			classUs[j] = us[i]
+		}
+		g, err := simgraph.Build(classUs, fn)
+		if err != nil {
+			return nil, err
+		}
+		mst, err := g.PrimMST(0)
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range mst.CompilationSequence() {
+			i := idxs[st.Group]
+			warm := -1
+			if st.WarmFrom >= 0 {
+				warm = idxs[st.WarmFrom]
+			}
+			steps = append(steps, trainStep{
+				cold: i, uniq: cold[i], unitary: us[i],
+				warmFrom: warm, warmDist: st.Distance,
+			})
+		}
+	}
+	return steps, nil
+}
+
+// seedFor picks the warm start for one cold step: the MST parent when it
+// trained earlier in this request (its pulse admitted under
+// WarmThreshold, its latency always transferring as the binary-search
+// hint), otherwise the nearest covered entry from the seed index. Called
+// only from inside the training closure, so planned-but-hit groups never
+// pay for a lookup.
+func (s *Server) seedFor(st trainStep, trained []*precompile.Entry) (*precompile.Entry, float64) {
+	if st.warmFrom >= 0 {
+		if prev := trained[st.warmFrom]; prev != nil {
+			seed := &precompile.Entry{NumQubits: st.uniq.NumQubits, LatencyNs: prev.LatencyNs}
+			if st.warmDist <= similarity.WarmThreshold(s.simFn, st.unitary.Rows) {
+				seed.Pulse = prev.Pulse
+			}
+			return seed, st.warmDist
+		}
+	}
+	if sd, ok := s.seeds.Nearest(st.unitary, st.uniq.NumQubits); ok {
+		return &precompile.Entry{
+			NumQubits: st.uniq.NumQubits,
+			Pulse:     sd.Pulse,
+			LatencyNs: sd.LatencyNs,
+		}, sd.Distance
+	}
+	return nil, 0
+}
+
+// resolve fetches or trains one unique group through the store's
+// singleflight and updates the response counters. plan, when non-nil,
+// supplies the warm-start seed, its distance, and the group's canonical
+// target unitary; it is consulted only if this call actually executes
+// the training (a hit or a joined in-flight training never evaluates
+// it). A returned unitary pre-indexes the freshly trained entry under
+// its target so the store hook's propagation is skipped (the index
+// dedups on pulse identity).
+func (s *Server) resolve(resp *CompileResponse, entries map[string]*precompile.Entry, u *grouping.UniqueGroup, cfg precompile.Config, plan func() (*precompile.Entry, float64, *cmat.Matrix)) *precompile.Entry {
+	var seedDist float64
+	var seeded bool
+	e, outcome, err := s.store.GetOrTrain(u.Key, func() (*precompile.Entry, error) {
+		var seed *precompile.Entry
+		var unitary *cmat.Matrix
+		if plan != nil {
+			var d float64
+			seed, d, unitary = plan()
+			if seed != nil && seed.Pulse != nil {
+				seeded, seedDist = true, d
+			}
+		}
+		trained, terr := precompile.TrainGroup(u, cfg, seed)
+		if terr == nil && s.seeds != nil && unitary != nil {
+			s.seeds.InsertWithUnitary(trained, unitary)
+		}
+		return trained, terr
+	})
+	if outcome == libstore.OutcomeHit {
+		resp.CoveredGroups += u.Count
+	} else {
+		// Trained here or joined another request's in-flight training:
+		// either way this request waited on GRAPE for the group.
+		resp.UncoveredUnique++
+		if outcome == libstore.OutcomeTrained && err == nil {
+			resp.TrainingIterations += e.Iterations
+			if seeded {
+				resp.WarmSeeded++
+				resp.seedDistanceSum += seedDist
+				s.warmSeeded.Add(1)
+			}
+		}
+	}
+	if err != nil {
+		// Unreachable within the bracket: price it gate-based below.
+		resp.FailedGroups++
+		return nil
+	}
+	entries[u.Key] = e
+	return e
+}
+
+// compile runs the serving-side pipeline in a plan/execute shape:
+// Prepare, a stats-neutral coverage plan that MST-orders the request's
+// cache misses, singleflight training along the tree edges with
+// warm-start seeds, and Algorithm 3 latency assembly.
 func (s *Server) compile(prog *circuit.Circuit) (*CompileResponse, error) {
 	begin := time.Now()
 	prep, err := s.comp.Prepare(prog)
@@ -265,23 +478,67 @@ func (s *Server) compile(prog *circuit.Circuit) (*CompileResponse, error) {
 	uniq := grouping.DeduplicateKeyed(gr.Groups, keys)
 	entries := make(map[string]*precompile.Entry, len(uniq))
 	cfg := s.comp.Options().Precompile
-	for _, u := range uniq {
-		e, outcome, terr := s.store.GetOrTrain(u.Key, func() (*precompile.Entry, error) {
-			return precompile.TrainGroup(u, cfg, nil)
-		})
-		if outcome == libstore.OutcomeHit {
-			resp.CoveredGroups += u.Count
-		} else {
-			// Trained here or joined another request's in-flight training:
-			// either way this request waited on GRAPE for the group.
-			resp.UncoveredUnique++
+	switch {
+	case s.seeds == nil:
+		// Index disabled: resolve in deduplication order with cold
+		// random-init trainings — the pre-index serving path, preserved
+		// byte for byte.
+		for _, u := range uniq {
+			s.resolve(resp, entries, u, cfg, nil)
 		}
-		if terr != nil {
-			// Unreachable within the bracket: price it gate-based below.
-			resp.FailedGroups++
-			continue
+	default:
+		// Plan: partition into covered and cold without touching
+		// counters or LRU order, then MST-order the cold set.
+		var covered, cold []*grouping.UniqueGroup
+		for _, u := range uniq {
+			if s.store.Contains(u.Key) {
+				covered = append(covered, u)
+			} else {
+				cold = append(cold, u)
+			}
 		}
-		entries[u.Key] = e
+		steps, perr := planColdSteps(cold, s.simFn)
+		if perr != nil {
+			// Planning must never fail a request harder than the legacy
+			// path would: the same defect (an unbuildable group unitary,
+			// a broken similarity function) surfaces inside TrainGroup
+			// on the legacy path, where the group is priced gate-based
+			// and counted in failed_groups. Fall back to exactly that.
+			for _, u := range uniq {
+				s.resolve(resp, entries, u, cfg, nil)
+			}
+			break
+		}
+		// Execute: covered keys resolve as hits first, then the cold
+		// set trains along the tree edges; every trained group becomes
+		// a seed candidate for its MST children later in this request.
+		for _, u := range covered {
+			u := u
+			// A hit never evaluates the closure; it exists for the rare
+			// key evicted between plan and execute, which then trains as
+			// an identity-rooted step (index-seeded) instead of cold.
+			s.resolve(resp, entries, u, cfg, func() (*precompile.Entry, float64, *cmat.Matrix) {
+				m, uerr := u.Group.Unitary()
+				if uerr != nil {
+					return nil, 0, nil
+				}
+				cu := precompile.CanonicalUnitary(m)
+				seed, d := s.seedFor(trainStep{uniq: u, unitary: cu, warmFrom: -1}, nil)
+				return seed, d, cu
+			})
+		}
+		trained := make([]*precompile.Entry, len(cold))
+		for _, st := range steps {
+			st := st
+			trained[st.cold] = s.resolve(resp, entries, st.uniq, cfg,
+				func() (*precompile.Entry, float64, *cmat.Matrix) {
+					seed, d := s.seedFor(st, trained)
+					return seed, d, st.unitary
+				})
+		}
+	}
+	if resp.WarmSeeded > 0 {
+		resp.SeedDistance = resp.seedDistanceSum / float64(resp.WarmSeeded)
 	}
 	if resp.TotalGroups > 0 {
 		resp.CoverageRate = float64(resp.CoveredGroups) / float64(resp.TotalGroups)
@@ -369,7 +626,7 @@ func (s *Server) ingest(req CompileRequest) (*circuit.Circuit, error) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	out := StatsResponse{
 		Library: s.store.Stats(),
 		Server: ServerStats{
 			UptimeSeconds:      time.Since(s.start).Seconds(),
@@ -377,10 +634,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Failures:           s.failures.Load(),
 			Rejected:           s.rejected.Load(),
 			TotalCompileMillis: float64(s.compileNs.Load()) / float64(time.Millisecond),
+			WarmSeeded:         s.warmSeeded.Load(),
 			Workers:            s.cfg.Workers,
 			QueueDepth:         s.cfg.QueueDepth,
 		},
-	})
+	}
+	if s.seeds != nil {
+		st := s.seeds.Stats()
+		out.SeedIndex = &st
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -261,5 +262,241 @@ func TestHealthz(t *testing.T) {
 	}
 	if body["status"] != "ok" {
 		t.Fatalf("healthz body %v", body)
+	}
+}
+
+// Two programs whose single 1Q groups are distinct but similar: rx
+// rotations 0.15 rad apart have TraceFid distance ≈ 1−cos(0.075) ≪ 0.3,
+// so the second is seedable from the first.
+const (
+	rxAProgram = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nrx(0.5) q[0];\n"
+	rxBProgram = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nrx(0.65) q[0];\n"
+)
+
+// TestServerWarmSeededTraining is the serving-path demo of the paper's
+// warm-start acceleration: after training group A, a similar cache-miss
+// group B trains from A's pulse — visible in the response counters, the
+// stats endpoint, and a strictly lower iteration count than B's cold
+// compile.
+func TestServerWarmSeededTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+
+	// Cold baseline: index disabled, B trains from a random init.
+	coldSrv := New(Config{Compile: fastOpts(), Workers: 2, DisableSeedIndex: true})
+	coldTS := httptest.NewServer(coldSrv.Handler())
+	coldResp, code := postCompile(t, coldTS.URL, CompileRequest{QASM: rxBProgram})
+	coldTS.Close()
+	coldSrv.Close()
+	if code != http.StatusOK {
+		t.Fatalf("cold B status %d", code)
+	}
+	if coldResp.WarmSeeded != 0 || coldResp.SeedDistance != 0 {
+		t.Fatalf("disabled index reported seeding: %+v", coldResp)
+	}
+	if coldResp.TrainingIterations == 0 {
+		t.Fatal("cold compile reported zero training iterations")
+	}
+
+	// Warm path: train A first, then the similar B.
+	s, ts := newTestServer(t)
+	aResp, code := postCompile(t, ts.URL, CompileRequest{QASM: rxAProgram})
+	if code != http.StatusOK {
+		t.Fatalf("A status %d", code)
+	}
+	if aResp.WarmSeeded != 0 {
+		t.Fatalf("first request on an empty library claims a seed: %+v", aResp)
+	}
+	bResp, code := postCompile(t, ts.URL, CompileRequest{QASM: rxBProgram})
+	if code != http.StatusOK {
+		t.Fatalf("B status %d", code)
+	}
+	if bResp.WarmSeeded != 1 {
+		t.Fatalf("B trained unseeded next to a similar covered neighbor: %+v", bResp)
+	}
+	if bResp.SeedDistance <= 0 || bResp.SeedDistance > 0.3 {
+		t.Fatalf("seed distance %v outside (0, WarmThreshold]", bResp.SeedDistance)
+	}
+	if bResp.TrainingIterations >= coldResp.TrainingIterations {
+		t.Fatalf("warm-seeded training took %d iterations, cold took %d — seeding did not help",
+			bResp.TrainingIterations, coldResp.TrainingIterations)
+	}
+
+	st := getStats(t, ts.URL)
+	if st.Server.WarmSeeded != 1 {
+		t.Fatalf("stats warm_seeded = %d, want 1", st.Server.WarmSeeded)
+	}
+	if st.SeedIndex == nil {
+		t.Fatal("stats missing seed_index block")
+	}
+	if st.SeedIndex.Entries != s.Store().Len() {
+		t.Fatalf("seed index holds %d entries, store %d — hook out of sync",
+			st.SeedIndex.Entries, s.Store().Len())
+	}
+	if st.SeedIndex.Seeded == 0 || st.SeedIndex.Lookups == 0 {
+		t.Fatalf("seed index counters flat: %+v", st.SeedIndex)
+	}
+	// Serving-path trainings pre-index under their known target unitary,
+	// so the store hook never propagates: the request path performs zero
+	// matrix exponentials for index maintenance (the acceptance
+	// invariant; snapshot backfill at boot is the only propagation site).
+	if st.SeedIndex.Propagations != 0 {
+		t.Fatalf("serving path propagated %d pulses for the index, want 0", st.SeedIndex.Propagations)
+	}
+}
+
+// TestServerPlanFailureFallsBackToLegacyPath configures an unknown
+// similarity function — similarity.Distance errors, so MST planning for
+// a multi-group cold request cannot build its graph — and requires the
+// request to degrade to the legacy cold path (200, trained groups)
+// rather than fail.
+func TestServerPlanFailureFallsBackToLegacyPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	opts := fastOpts()
+	opts.Precompile.Similarity = "no-such-metric"
+	s := New(Config{Compile: opts, Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	prog := "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nrx(0.7) q[0];\nrx(0.9) q[1];\n"
+	resp, code := postCompile(t, ts.URL, CompileRequest{QASM: prog})
+	if code != http.StatusOK {
+		t.Fatalf("plan failure escalated to status %d, want 200 via legacy fallback", code)
+	}
+	if resp.FailedGroups != 0 || resp.UncoveredUnique != 2 {
+		t.Fatalf("fallback did not train the groups: %+v", resp)
+	}
+	if resp.WarmSeeded != 0 {
+		t.Fatalf("broken similarity function claimed a seed: %+v", resp)
+	}
+}
+
+// TestServerInRequestMSTSeeding submits one request holding two similar
+// cold groups against an empty library: the plan must train them along
+// the MST edge so the second seeds from the first, with no covered
+// entries involved at all.
+func TestServerInRequestMSTSeeding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	_, ts := newTestServer(t)
+	prog := "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nrx(0.7) q[0];\nrx(0.9) q[1];\n"
+	resp, code := postCompile(t, ts.URL, CompileRequest{QASM: prog})
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.UncoveredUnique != 2 {
+		t.Fatalf("want 2 cold unique groups, got %+v", resp)
+	}
+	if resp.WarmSeeded != 1 {
+		t.Fatalf("MST child did not seed from its in-request parent: %+v", resp)
+	}
+}
+
+// TestServerDisabledIndexBitIdentical pins the determinism baseline: with
+// the seed index off, the serving path must produce exactly the library
+// the pre-index implementation did — byte-for-byte equal to training each
+// unique group independently, cold, in deduplication order.
+func TestServerDisabledIndexBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	s := New(Config{Compile: fastOpts(), Workers: 4, DisableSeedIndex: true})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	for _, prog := range []string{oneQubitProgram, rxAProgram} {
+		if _, code := postCompile(t, ts.URL, CompileRequest{QASM: prog}); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+	}
+
+	// Reference: train every unique group directly, cold, from the same
+	// deterministic GRAPE options.
+	comp := accqoc.New(fastOpts())
+	cfg := comp.Options().Precompile
+	want := map[string]*precompile.Entry{}
+	for _, progSrc := range []string{oneQubitProgram, rxAProgram} {
+		prog, err := qasm.Parse(progSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := comp.Prepare(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uniq, err := grouping.Deduplicate(prep.Grouping.Groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range uniq {
+			if _, ok := want[u.Key]; ok {
+				continue
+			}
+			e, err := precompile.TrainGroup(u, cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[u.Key] = e
+		}
+	}
+
+	got := s.Store().Snapshot().Entries
+	if len(got) != len(want) {
+		t.Fatalf("store has %d entries, reference %d", len(got), len(want))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Fatalf("store missing %q", key)
+		}
+		if g.LatencyNs != w.LatencyNs || g.Iterations != w.Iterations {
+			t.Fatalf("entry %q diverges: latency %v vs %v, iterations %d vs %d",
+				key, g.LatencyNs, w.LatencyNs, g.Iterations, w.Iterations)
+		}
+		if !reflect.DeepEqual(g.Pulse.Amps, w.Pulse.Amps) || g.Pulse.Dt != w.Pulse.Dt {
+			t.Fatalf("entry %q pulse not bit-identical to the cold reference", key)
+		}
+	}
+}
+
+// TestServerConcurrentSeededDuplicates hammers the warm path from many
+// clients at once (run with -race): the hook-driven index mutations and
+// seed lookups must be exactly-once-per-group and race-clean.
+func TestServerConcurrentSeededDuplicates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	s, ts := newTestServer(t)
+	if _, code := postCompile(t, ts.URL, CompileRequest{QASM: rxAProgram}); code != http.StatusOK {
+		t.Fatalf("warmup status %d", code)
+	}
+	const clients = 8
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, code := postCompile(t, ts.URL, CompileRequest{QASM: rxBProgram})
+			if code != http.StatusOK {
+				t.Errorf("status %d", code)
+				return
+			}
+			if resp.FailedGroups != 0 {
+				t.Errorf("failed groups: %+v", resp)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Store().Stats()
+	// A's group plus B's group: exactly two trainings ever ran.
+	if st.Trainings != 2 {
+		t.Fatalf("trainings = %d, want 2 (singleflight with seeding)", st.Trainings)
+	}
+	if got := s.Store().Len(); getStats(t, ts.URL).SeedIndex.Entries != got {
+		t.Fatalf("index/store entry mismatch after concurrent load")
 	}
 }

@@ -2,6 +2,7 @@ package accqoc
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"accqoc/internal/circuit"
@@ -127,8 +128,11 @@ func (s *Schedule) Validate() error {
 			maxEnd = e
 		}
 	}
-	if maxEnd > s.MakespanNs+1e-9 {
-		return fmt.Errorf("accqoc: makespan %v below last pulse end %v", s.MakespanNs, maxEnd)
+	// Two-sided: an inflated makespan is as wrong as a deflated one — a
+	// control stack would pad the program with dead time (decoherence per
+	// §II-E) while reporting a latency nobody achieves.
+	if math.Abs(maxEnd-s.MakespanNs) > 1e-9 {
+		return fmt.Errorf("accqoc: makespan %v disagrees with last pulse end %v", s.MakespanNs, maxEnd)
 	}
 	return nil
 }

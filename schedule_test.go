@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"accqoc/internal/circuit"
+	"accqoc/internal/gate"
+	"accqoc/internal/grouping"
 	"accqoc/internal/topology"
 )
 
@@ -62,3 +64,47 @@ func TestScheduleEmptyProgram(t *testing.T) {
 }
 
 // newEmpty builds an empty circuit (helper kept beside its only use).
+
+// handSchedule hand-builds a minimal schedule (no training) for Validate
+// checks.
+func handSchedule(t *testing.T) *Schedule {
+	t.Helper()
+	c := circuit.New(1)
+	c.MustAppend(gate.H, []int{0})
+	gr, err := grouping.Divide(c, grouping.Map2b4l)
+	if err != nil || len(gr.Groups) == 0 {
+		t.Fatalf("grouping: %d groups, err %v", len(gr.Groups), err)
+	}
+	s := &Schedule{
+		Result:     &CompileResult{Prepared: Prepared{Grouping: gr}},
+		MakespanNs: 100,
+	}
+	for i := range gr.Groups {
+		s.Pulses = append(s.Pulses, ScheduledPulse{
+			Group: i, Qubits: gr.Groups[i].Qubits, StartNs: 0, DurationNs: 100,
+		})
+	}
+	return s
+}
+
+// TestValidateMakespanTwoSided covers both failure directions of the
+// makespan consistency check. The inflated case is the regression: the
+// old one-sided check accepted any makespan at or above the last pulse
+// end.
+func TestValidateMakespanTwoSided(t *testing.T) {
+	if s := handSchedule(t); s.Validate() != nil {
+		t.Fatalf("consistent schedule rejected: %v", s.Validate())
+	}
+
+	inflated := handSchedule(t)
+	inflated.MakespanNs = 250 // above every pulse end
+	if inflated.Validate() == nil {
+		t.Fatal("inflated makespan accepted (one-sided check regression)")
+	}
+
+	deflated := handSchedule(t)
+	deflated.MakespanNs = 40 // below the last pulse end
+	if deflated.Validate() == nil {
+		t.Fatal("deflated makespan accepted")
+	}
+}

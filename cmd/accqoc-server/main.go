@@ -1,14 +1,18 @@
 // Command accqoc-server runs the AccQOC pulse-compilation service: an HTTP
-// JSON API over a shared, sharded pulse library. Programs arrive as
-// OpenQASM 2.0 or workload specs on POST /v1/compile; groups already in
-// the library are served warm, uncovered groups are GRAPE-trained exactly
-// once even under concurrent duplicate requests, and the library survives
-// restarts through versioned snapshots.
+// JSON API over per-device, per-calibration-epoch pulse libraries.
+// Programs arrive as OpenQASM 2.0 or workload specs on POST /v1/compile
+// (with an optional "device" field routing to a registered device); groups
+// already in the device's current-epoch library are served warm, uncovered
+// groups are GRAPE-trained exactly once even under concurrent duplicate
+// requests, and the default device's library survives restarts through
+// versioned, fingerprinted snapshots.
 //
 // Usage:
 //
 //	accqoc-server -addr :8080 -lib pulses.snap
 //	accqoc-server -device linear16 -policy swap2b3l -workers 8 -capacity 4096
+//	accqoc-server -device melbourne -devices linear5,grid2x3   # multi-device serving
+//	accqoc-server -calibration-file cal.json                   # SIGHUP re-reads → new epoch
 //	accqoc-server -pprof localhost:6060   # expose net/http/pprof for live profiling
 //	accqoc-server -seed-index=false       # train cache misses cold (A/B baseline)
 //
@@ -16,12 +20,20 @@
 // per request and seeded from the similarity index over covered library
 // entries (-seed-index=false disables).
 //
-// The snapshot is loaded at boot (if present), saved on SIGINT/SIGTERM
+// A calibration event — POST /v1/devices/{name}/calibrate, or SIGHUP with
+// -calibration-file pointing at a JSON CalibrationUpdate — opens a new
+// epoch for the device and re-trains its covered groups in the background,
+// most-requested-first, each seeded by its own previous-epoch pulse.
+//
+// The snapshot is loaded asynchronously at boot (if present; /healthz
+// reports 503 until done), verified against the device+calibration
+// fingerprint (-lib-force overrides a mismatch), saved on SIGINT/SIGTERM
 // shutdown, and optionally saved on a timer with -snapshot-every.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,11 +43,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"accqoc"
+	"accqoc/internal/devreg"
 	"accqoc/internal/grape"
+	"accqoc/internal/hamiltonian"
 	"accqoc/internal/grouping"
 	"accqoc/internal/libstore"
 	"accqoc/internal/precompile"
@@ -46,13 +61,16 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	policyName := flag.String("policy", "map2b4l", "grouping policy: map2b2l|map2b3l|map2b4l|swap2b2l|swap2b3l|swap2b4l")
-	deviceName := flag.String("device", "melbourne", "device: melbourne | linear<N> | grid<R>x<C>")
-	libPath := flag.String("lib", "", "library snapshot path (loaded at boot, saved at shutdown)")
+	deviceName := flag.String("device", "melbourne", "default device: melbourne | linear<N> | grid<R>x<C>")
+	extraDevices := flag.String("devices", "", "comma-separated extra device specs served next to the default (same syntax as -device)")
+	libPath := flag.String("lib", "", "library snapshot path for the default device (loaded at boot, saved at shutdown)")
+	libForce := flag.Bool("lib-force", false, "load the boot snapshot even when its device+calibration fingerprint mismatches")
 	format := flag.String("lib-format", "gob", "snapshot payload format: gob | json")
 	snapshotEvery := flag.Duration("snapshot-every", 0, "also save the snapshot periodically (0 disables)")
+	calibrationFile := flag.String("calibration-file", "", "JSON CalibrationUpdate re-read on SIGHUP to open a new calibration epoch for the default device")
 	workers := flag.Int("workers", 0, "concurrent compilations (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "pending-request queue depth (full queue answers 503)")
-	capacity := flag.Int("capacity", 0, "library entry capacity, LRU-evicted beyond it (0 = unlimited)")
+	capacity := flag.Int("capacity", 0, "library entry capacity per namespace, LRU-evicted beyond it (0 = unlimited)")
 	shards := flag.Int("shards", 16, "library shard count")
 	maxGates := flag.Int("max-gates", 4096, "per-request gate budget")
 	fidelity := flag.Float64("fidelity", 1e-3, "GRAPE target infidelity")
@@ -72,6 +90,44 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Apply the calibration file at boot (if present) so the default
+	// device starts at the physics its last shutdown snapshot was stamped
+	// with — otherwise a routine restart after any SIGHUP recalibration
+	// would fingerprint-reject its own snapshot. The file should carry
+	// absolute calibration/hamiltonian values for this to be idempotent;
+	// a relative drift_pct file reproduces exactly one hot reload.
+	var bootHam hamiltonian.Config
+	if *calibrationFile != "" {
+		switch upd, uerr := readCalibrationFile(*calibrationFile); {
+		case uerr == nil:
+			p, aerr := upd.Apply(devreg.Profile{Name: *deviceName, Device: dev})
+			if aerr != nil {
+				log.Fatalf("calibration file: %v", aerr)
+			}
+			dev, bootHam = p.Device, p.Ham
+			log.Printf("applied %s at boot (fingerprint %s)", *calibrationFile, p.Fingerprint())
+		case os.IsNotExist(uerr):
+			log.Printf("no calibration file at %s yet; using flag defaults", *calibrationFile)
+		default:
+			log.Fatal(uerr)
+		}
+	}
+	var extras []devreg.Profile
+	if *extraDevices != "" {
+		seen := map[string]bool{*deviceName: true}
+		for _, spec := range strings.Split(*extraDevices, ",") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" || seen[spec] {
+				continue
+			}
+			seen[spec] = true
+			d, derr := parseDevice(spec)
+			if derr != nil {
+				log.Fatal(derr)
+			}
+			extras = append(extras, devreg.Profile{Name: spec, Device: d})
+		}
+	}
 	var snapFormat libstore.Format
 	switch *format {
 	case "gob":
@@ -82,18 +138,7 @@ func main() {
 		log.Fatalf("unknown -lib-format %q (want gob or json)", *format)
 	}
 
-	store := libstore.New(libstore.Options{Shards: *shards, Capacity: *capacity})
-	if *libPath != "" {
-		n, lerr := store.LoadInto(*libPath)
-		switch {
-		case lerr == nil:
-			log.Printf("loaded %d library pulses from %s", n, *libPath)
-		case os.IsNotExist(lerr):
-			log.Printf("no snapshot at %s yet; starting cold", *libPath)
-		default:
-			log.Fatalf("snapshot load: %v", lerr)
-		}
-	}
+	storeOpts := libstore.Options{Shards: *shards, Capacity: *capacity}
 
 	segWorkers := *grapeParallel
 	if segWorkers == 0 {
@@ -113,14 +158,20 @@ func main() {
 			Device: dev,
 			Policy: policy,
 			Precompile: precompile.Config{
+				Ham:   bootHam,
 				Grape: grape.Options{TargetInfidelity: *fidelity, MaxIterations: *maxIter, Parallel: segWorkers},
 			},
 		},
-		Store:            store,
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		MaxGates:         *maxGates,
-		DisableSeedIndex: !*seedIndex,
+		Store:             libstore.New(storeOpts),
+		StoreOptions:      storeOpts,
+		DeviceName:        *deviceName,
+		Devices:           extras,
+		BootSnapshot:      *libPath,
+		BootSnapshotForce: *libForce,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		MaxGates:          *maxGates,
+		DisableSeedIndex:  !*seedIndex,
 	})
 
 	if *pprofAddr != "" {
@@ -142,15 +193,59 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Surface the async boot load's outcome in the log (the synchronous
+	// load used to log or die here; /healthz alone is easy to miss).
+	if *libPath != "" {
+		go func() {
+			for {
+				done, n, berr := srv.BootStatus()
+				if done {
+					switch {
+					case berr != nil:
+						log.Printf("boot snapshot: %v (serving cold; /healthz reports error)", berr)
+					case n > 0:
+						log.Printf("loaded %d library pulses from %s", n, *libPath)
+					default:
+						log.Printf("no snapshot at %s yet; starting cold", *libPath)
+					}
+					return
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(50 * time.Millisecond):
+				}
+			}
+		}()
+	}
+
 	save := func(reason string) {
 		if *libPath == "" {
 			return
 		}
-		if err := store.SaveSnapshot(*libPath, snapFormat); err != nil {
+		// Never clobber the snapshot while its boot load is pending or
+		// failed: a fingerprint-rejected library would be overwritten by
+		// an empty store on the first shutdown.
+		if done, _, berr := srv.BootStatus(); berr != nil {
+			log.Printf("snapshot save (%s): refusing to overwrite %s — boot load failed (%v); fix the config or pass -lib-force", reason, *libPath, berr)
+			return
+		} else if !done {
+			log.Printf("snapshot save (%s): boot load still in progress; skipping", reason)
+			return
+		}
+		ns, nerr := srv.Registry().Current("")
+		if nerr != nil {
+			log.Printf("snapshot save (%s): %v", reason, nerr)
+			return
+		}
+		// Stamp the snapshot with the current epoch's fingerprint so a
+		// later boot under different physics is rejected, not silently
+		// served.
+		if err := ns.Store.SaveSnapshotFingerprint(*libPath, snapFormat, ns.Profile.Fingerprint()); err != nil {
 			log.Printf("snapshot save (%s): %v", reason, err)
 			return
 		}
-		log.Printf("saved %d library pulses to %s (%s)", store.Len(), *libPath, reason)
+		log.Printf("saved %d library pulses to %s (%s, epoch %d)", ns.Store.Len(), *libPath, reason, ns.Epoch)
 	}
 
 	if *snapshotEvery > 0 && *libPath != "" {
@@ -168,9 +263,38 @@ func main() {
 		}()
 	}
 
+	// SIGHUP re-reads -calibration-file and opens a new calibration epoch
+	// for the default device — the operator's hot-reload path after a
+	// hardware recalibration lands.
+	if *calibrationFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for {
+				select {
+				case <-hup:
+					upd, uerr := readCalibrationFile(*calibrationFile)
+					if uerr != nil {
+						log.Printf("calibration reload: %v", uerr)
+						continue
+					}
+					epoch, planned, cerr := srv.CalibrateDefault(upd)
+					if cerr != nil {
+						log.Printf("calibration reload: %v", cerr)
+						continue
+					}
+					log.Printf("calibration reload: %s now at epoch %d, %d groups queued for warm recompilation",
+						*deviceName, epoch, planned)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
 	go func() {
-		log.Printf("accqoc-server listening on %s (device %s, policy %s, %d shards, seed index %v)",
-			*addr, dev.Name, policy.Name, *shards, *seedIndex)
+		log.Printf("accqoc-server listening on %s (device %s + %d extra, policy %s, %d shards, seed index %v)",
+			*addr, dev.Name, len(extras), policy.Name, *shards, *seedIndex)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
@@ -185,6 +309,19 @@ func main() {
 	}
 	srv.Close()
 	save("shutdown")
+}
+
+// readCalibrationFile parses a JSON devreg.CalibrationUpdate.
+func readCalibrationFile(path string) (devreg.CalibrationUpdate, error) {
+	var upd devreg.CalibrationUpdate
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return upd, err
+	}
+	if err := json.Unmarshal(data, &upd); err != nil {
+		return upd, fmt.Errorf("%s: %w", path, err)
+	}
+	return upd, nil
 }
 
 func parseDevice(name string) (*topology.Device, error) {

@@ -8,17 +8,88 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"accqoc/internal/server"
 )
 
+// deviceWeight is one entry of the -devices traffic mix.
+type deviceWeight struct {
+	name   string
+	weight float64
+}
+
+// parseDeviceMix parses a weighted device mix spec like
+// "melbourne:0.7,linear5:0.3". Weights must be positive; they are treated
+// as ratios (no need to sum to 1). A bare name gets weight 1.
+func parseDeviceMix(spec string) ([]deviceWeight, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []deviceWeight
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, hasW := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("device mix %q: empty device name", spec)
+		}
+		w := 1.0
+		if hasW {
+			var err error
+			w, err = strconv.ParseFloat(strings.TrimSpace(wstr), 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("device mix %q: bad weight for %s", spec, name)
+			}
+		}
+		out = append(out, deviceWeight{name: name, weight: w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("device mix %q: no devices", spec)
+	}
+	return out, nil
+}
+
+// assignDevices deterministically spreads n requests across the mix with
+// smooth weighted round-robin, so a 0.7/0.3 mix interleaves 7:3 instead of
+// sending two monolithic blocks (which would hide cross-device
+// interference on the server).
+func assignDevices(mix []deviceWeight, n int) []string {
+	if len(mix) == 0 {
+		return make([]string, n)
+	}
+	out := make([]string, n)
+	cur := make([]float64, len(mix))
+	var total float64
+	for _, m := range mix {
+		total += m.weight
+	}
+	for i := 0; i < n; i++ {
+		best := 0
+		for j := range mix {
+			cur[j] += mix[j].weight
+			if cur[j] > cur[best] {
+				best = j
+			}
+		}
+		cur[best] -= total
+		out[i] = mix[best].name
+	}
+	return out
+}
+
 // runClient drives a running accqoc-server: it sends the same compile
-// request n times with the given concurrency and reports how request
-// latency collapses once the pulse library is warm, then prints the
-// server's /v1/library/stats.
-func runClient(baseURL, inPath, workloadSpec string, n, concurrency int) error {
+// request n times with the given concurrency — optionally spread across a
+// weighted multi-device mix — and reports how request latency collapses
+// once the pulse libraries are warm, with a per-device breakdown, then
+// prints the server's /v1/library/stats.
+func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency int) error {
 	var req server.CompileRequest
 	switch {
 	case inPath != "" && workloadSpec != "":
@@ -40,27 +111,36 @@ func runClient(baseURL, inPath, workloadSpec string, n, concurrency int) error {
 	if concurrency < 1 {
 		concurrency = 1
 	}
-	body, err := json.Marshal(req)
+	mix, err := parseDeviceMix(deviceMix)
 	if err != nil {
 		return err
 	}
+	devices := assignDevices(mix, n)
 
 	type sample struct {
-		idx   int
-		wall  time.Duration
-		resp  server.CompileResponse
-		err   error
-		debug string
+		idx    int
+		device string
+		wall   time.Duration
+		resp   server.CompileResponse
+		err    error
+		debug  string
 	}
 	samples := make([]sample, n)
 
 	// The first request runs alone so the cold-path cost is unambiguous;
 	// the rest fan out with the requested concurrency against the now-warm
-	// (or warming) library.
+	// (or warming) libraries.
 	post := func(i int) {
+		body := req
+		body.Device = devices[i]
+		payload, merr := json.Marshal(body)
+		if merr != nil {
+			samples[i] = sample{idx: i, device: devices[i], err: merr}
+			return
+		}
 		start := time.Now()
-		resp, err := http.Post(baseURL+"/v1/compile", "application/json", bytes.NewReader(body))
-		s := sample{idx: i, wall: time.Since(start)}
+		resp, err := http.Post(baseURL+"/v1/compile", "application/json", bytes.NewReader(payload))
+		s := sample{idx: i, device: devices[i], wall: time.Since(start)}
 		if err != nil {
 			s.err = err
 		} else {
@@ -123,6 +203,43 @@ func runClient(baseURL, inPath, workloadSpec string, n, concurrency int) error {
 			median.Round(time.Microsecond), warm[0].Round(time.Microsecond), warm[len(warm)-1].Round(time.Microsecond))
 		if median > 0 {
 			fmt.Printf("cold/warm speedup: %.1fx\n", float64(cold.wall)/float64(median))
+		}
+	}
+
+	// Per-device breakdown: traffic share, latency, warm-serving and
+	// warm-seeding per registered device of the mix.
+	if len(mix) > 0 {
+		fmt.Println("per-device breakdown:")
+		for _, m := range mix {
+			var walls []time.Duration
+			sent, devFailed, devWarm, devSeeded, iters := 0, 0, 0, 0, 0
+			for _, s := range samples {
+				if s.device != m.name {
+					continue
+				}
+				sent++
+				if s.err != nil {
+					devFailed++
+					continue
+				}
+				walls = append(walls, s.wall)
+				if s.resp.WarmServed {
+					devWarm++
+				}
+				devSeeded += s.resp.WarmSeeded
+				iters += s.resp.TrainingIterations
+			}
+			line := fmt.Sprintf("  %-12s %3d requests", m.name, sent)
+			if len(walls) > 0 {
+				sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+				line += fmt.Sprintf(", median %v", walls[len(walls)/2].Round(time.Microsecond))
+			}
+			line += fmt.Sprintf(", %d warm-served, %d warm-seeded trainings, %d GRAPE iters",
+				devWarm, devSeeded, iters)
+			if devFailed > 0 {
+				line += fmt.Sprintf(", %d FAILED", devFailed)
+			}
+			fmt.Println(line)
 		}
 	}
 

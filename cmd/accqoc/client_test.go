@@ -1,0 +1,75 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseDeviceMix(t *testing.T) {
+	mix, err := parseDeviceMix("melbourne:0.7,linear5:0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 || mix[0].name != "melbourne" || mix[0].weight != 0.7 ||
+		mix[1].name != "linear5" || mix[1].weight != 0.3 {
+		t.Fatalf("mix = %+v", mix)
+	}
+	// Bare names weight 1; whitespace tolerated.
+	mix, err = parseDeviceMix(" melbourne , linear5:2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix[0].weight != 1 || mix[1].weight != 2 {
+		t.Fatalf("mix = %+v", mix)
+	}
+	// Empty spec means "no mix" (default device), not an error.
+	if mix, err := parseDeviceMix(""); err != nil || mix != nil {
+		t.Fatalf("empty spec: %v %v", mix, err)
+	}
+	for _, bad := range []string{":0.5", "dev:0", "dev:-1", "dev:x", ","} {
+		if _, err := parseDeviceMix(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestAssignDevicesProportionsAndInterleave(t *testing.T) {
+	mix, err := parseDeviceMix("a:0.7,b:0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := assignDevices(mix, 10)
+	counts := map[string]int{}
+	for _, d := range got {
+		counts[d]++
+	}
+	if counts["a"] != 7 || counts["b"] != 3 {
+		t.Fatalf("assignment %v (counts %v), want 7:3", got, counts)
+	}
+	// Smooth WRR interleaves instead of producing two monolithic blocks:
+	// "b" must appear before the last "a".
+	firstB, lastA := -1, -1
+	for i, d := range got {
+		if d == "b" && firstB < 0 {
+			firstB = i
+		}
+		if d == "a" {
+			lastA = i
+		}
+	}
+	if firstB < 0 || firstB > lastA {
+		t.Fatalf("mix not interleaved: %v", got)
+	}
+	// Deterministic: two calls agree.
+	again := assignDevices(mix, 10)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatal("assignment not deterministic")
+		}
+	}
+	// No mix: everything routes to the default (empty) device.
+	for _, d := range assignDevices(nil, 3) {
+		if d != "" {
+			t.Fatalf("no-mix assignment %q", d)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 //
 //	accqoc -server http://localhost:8080 -in program.qasm -requests 20 -concurrency 4
 //	accqoc -server http://localhost:8080 -workload qft:4 -requests 10
+//	accqoc -server http://localhost:8080 -workload qft:4 -devices melbourne:0.7,linear5:0.3
 package main
 
 import (
@@ -44,10 +45,12 @@ func main() {
 	workloadSpec := flag.String("workload", "", "workload spec for -server mode (qft:N | named:NAME | random:Q:G:S)")
 	requests := flag.Int("requests", 10, "number of requests to send in -server mode")
 	concurrency := flag.Int("concurrency", 4, "concurrent in-flight requests in -server mode")
+	deviceMix := flag.String("devices", "",
+		"weighted multi-device traffic mix for -server mode, e.g. melbourne:0.7,linear5:0.3 (empty = default device)")
 	flag.Parse()
 
 	if *serverURL != "" {
-		if err := runClient(*serverURL, *in, *workloadSpec, *requests, *concurrency); err != nil {
+		if err := runClient(*serverURL, *in, *workloadSpec, *deviceMix, *requests, *concurrency); err != nil {
 			fatal(err)
 		}
 		return

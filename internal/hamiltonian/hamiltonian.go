@@ -55,10 +55,12 @@ type System struct {
 }
 
 // Config tunes the model constants; the zero value selects the defaults.
+// The JSON tags are the wire format of the calibration-epoch admin API,
+// where a recalibration ships perturbed Hamiltonian parameters.
 type Config struct {
-	MaxAmp   float64 // drive bound, rad/ns
-	Coupling float64 // ZZ exchange J, rad/ns
-	Detuning float64 // rotating-frame detuning, rad/ns
+	MaxAmp   float64 `json:"max_amp,omitempty"`   // drive bound, rad/ns
+	Coupling float64 `json:"coupling,omitempty"`  // ZZ exchange J, rad/ns
+	Detuning float64 `json:"detuning,omitempty"`  // rotating-frame detuning, rad/ns
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +70,30 @@ func (c Config) withDefaults() Config {
 	if c.Coupling == 0 {
 		c.Coupling = DefaultCoupling
 	}
+	return c
+}
+
+// Normalize resolves the zero-value defaults into explicit numbers, so two
+// configs that describe the same physics compare (and fingerprint) equal.
+func (c Config) Normalize() Config { return c.withDefaults() }
+
+// Drift returns the config perturbed by pct percent — the
+// calibration-epoch model: after a recalibration the same hardware comes
+// back with slightly moved control parameters, invalidating every
+// compiled pulse while keeping each one a near-perfect warm start for its
+// successor. The drive bound and exchange strength scale by (1 + pct/100);
+// the qubit frequency also moves, which in the serving rotating frame is a
+// detuning shift of (pct/100)·MaxAmp — without it a single-qubit system
+// (whose on-resonance drift term is zero) would see no physical change at
+// all, and old pulses would stay exactly valid. Defaults are resolved
+// first so drifting a zero-value config does not silently re-select the
+// defaults (0 × f = 0) on the other side.
+func (c Config) Drift(pct float64) Config {
+	c = c.withDefaults()
+	f := 1 + pct/100
+	c.MaxAmp *= f
+	c.Coupling *= f
+	c.Detuning = c.Detuning*f + (pct/100)*c.MaxAmp
 	return c
 }
 

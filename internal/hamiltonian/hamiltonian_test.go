@@ -95,6 +95,33 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	}
 }
 
+func TestConfigDrift(t *testing.T) {
+	d := Config{}.Drift(2)
+	if d.MaxAmp != DefaultMaxAmp*1.02 {
+		t.Fatalf("MaxAmp %v, want %v", d.MaxAmp, DefaultMaxAmp*1.02)
+	}
+	if d.Coupling != DefaultCoupling*1.02 {
+		t.Fatalf("Coupling %v, want %v", d.Coupling, DefaultCoupling*1.02)
+	}
+	// The detuning shift is the 1q invalidation channel: without it a
+	// drifted on-resonance single-qubit system would be physically
+	// identical and old pulses would stay exactly valid.
+	if want := 0.02 * d.MaxAmp; d.Detuning != want {
+		t.Fatalf("Detuning %v, want %v", d.Detuning, want)
+	}
+	// Drifting a zero-value config must not collapse back to defaults on
+	// the other side: the result is explicit.
+	if sys := OneQubit(d); sys.Drift.At(0, 0) == 0 {
+		t.Fatal("drifted 1q system has a zero drift term")
+	}
+	// Normalize is idempotent physics: zero value and explicit defaults
+	// describe the same system.
+	n := Config{}.Normalize()
+	if n.MaxAmp != DefaultMaxAmp || n.Coupling != DefaultCoupling || n.Detuning != 0 {
+		t.Fatalf("Normalize = %+v", n)
+	}
+}
+
 func TestRabiFlipTiming(t *testing.T) {
 	// Driving σx at amplitude u for t = π/(2u) implements an X rotation:
 	// exp(−i·u·t·σx) with u·t = π/2 equals −i·X.

@@ -14,13 +14,28 @@ import (
 	"accqoc/internal/precompile"
 )
 
-// Snapshot file layout:
+// Snapshot file layout (version 1):
 //
 //	4 bytes  magic "AQLS"
 //	1 byte   snapshot version
 //	1 byte   payload format (FormatGob | FormatJSON)
 //	4 bytes  IEEE CRC-32 of the payload, little-endian
 //	payload  the encoded precompile.Library
+//
+// Version 2 carries a device+calibration fingerprint between the header
+// and the payload (2-byte little-endian length, then the fingerprint
+// bytes); its CRC covers everything after the header, fingerprint
+// included. A version-2 snapshot is written whenever the caller supplies a
+// fingerprint; with an empty fingerprint the output is byte-identical to
+// version 1, and version-1 files remain loadable (they simply carry no
+// identity to check).
+//
+// The fingerprint matters as much as the checksum: a snapshot is a cache
+// of GRAPE solutions valid only for the exact device Hamiltonian and
+// calibration it was trained under. Loading one into a server configured
+// for a different device — or the same device after a recalibration —
+// would silently serve pulses that drive the wrong unitaries. LoadIntoChecked
+// rejects that mismatch instead (with an explicit force escape hatch).
 //
 // The checksum matters: random corruption inside gob-encoded float64
 // amplitudes can decode into a structurally valid library with silently
@@ -55,17 +70,42 @@ func (f Format) String() string {
 
 var snapshotMagic = [4]byte{'A', 'Q', 'L', 'S'}
 
-const snapshotVersion = 1
+const (
+	snapshotVersion = 1
+	// snapshotVersionFingerprint adds the device+calibration fingerprint
+	// section after the header.
+	snapshotVersionFingerprint = 2
+)
 
 // ErrCorrupt tags snapshot decode failures; errors.Is(err, ErrCorrupt)
 // distinguishes a damaged file from an absent one.
 var ErrCorrupt = errors.New("libstore: corrupt snapshot")
 
+// ErrFingerprint tags a snapshot whose device+calibration fingerprint does
+// not match the store it is being loaded into: the pulses were trained for
+// different physics and would silently drive wrong unitaries.
+var ErrFingerprint = errors.New("libstore: snapshot fingerprint mismatch")
+
 // headerLen is magic + version + format + crc32.
 const headerLen = 4 + 1 + 1 + 4
 
-// EncodeSnapshot renders a library in the versioned snapshot layout.
+// maxFingerprintLen bounds the fingerprint section (a 2-byte length field).
+const maxFingerprintLen = 1<<16 - 1
+
+// EncodeSnapshot renders a library in the versioned snapshot layout with no
+// fingerprint (a version-1 file, byte-identical to the pre-fingerprint
+// encoder).
 func EncodeSnapshot(lib *precompile.Library, format Format) ([]byte, error) {
+	return EncodeSnapshotFingerprint(lib, format, "")
+}
+
+// EncodeSnapshotFingerprint renders a library in the versioned snapshot
+// layout carrying the given device+calibration fingerprint. An empty
+// fingerprint produces a version-1 file; a non-empty one a version-2 file.
+func EncodeSnapshotFingerprint(lib *precompile.Library, format Format, fingerprint string) ([]byte, error) {
+	if len(fingerprint) > maxFingerprintLen {
+		return nil, fmt.Errorf("libstore: fingerprint %d bytes exceeds %d", len(fingerprint), maxFingerprintLen)
+	}
 	var payload bytes.Buffer
 	switch format {
 	case FormatGob:
@@ -81,69 +121,115 @@ func EncodeSnapshot(lib *precompile.Library, format Format) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("libstore: unknown snapshot format %d", format)
 	}
-	out := make([]byte, headerLen, headerLen+payload.Len())
+	version := byte(snapshotVersion)
+	var tail []byte
+	if fingerprint != "" {
+		version = snapshotVersionFingerprint
+		tail = make([]byte, 2, 2+len(fingerprint)+payload.Len())
+		binary.LittleEndian.PutUint16(tail, uint16(len(fingerprint)))
+		tail = append(tail, fingerprint...)
+	}
+	tail = append(tail, payload.Bytes()...)
+	out := make([]byte, headerLen, headerLen+len(tail))
 	copy(out, snapshotMagic[:])
-	out[4] = snapshotVersion
+	out[4] = version
 	out[5] = byte(format)
-	binary.LittleEndian.PutUint32(out[6:10], crc32.ChecksumIEEE(payload.Bytes()))
-	return append(out, payload.Bytes()...), nil
+	binary.LittleEndian.PutUint32(out[6:10], crc32.ChecksumIEEE(tail))
+	return append(out, tail...), nil
 }
 
 // DecodeSnapshot parses a snapshot produced by EncodeSnapshot, validating
-// the header and every entry's pulse.
+// the header and every entry's pulse and discarding any fingerprint.
 func DecodeSnapshot(data []byte) (*precompile.Library, error) {
+	lib, _, err := DecodeSnapshotFingerprint(data)
+	return lib, err
+}
+
+// DecodeSnapshotFingerprint parses a snapshot, returning the library and
+// the embedded device+calibration fingerprint ("" for version-1 files,
+// which predate fingerprinting).
+func DecodeSnapshotFingerprint(data []byte) (*precompile.Library, string, error) {
 	if len(data) < headerLen {
-		return nil, fmt.Errorf("%w: %d bytes, want ≥ %d", ErrCorrupt, len(data), headerLen)
+		return nil, "", fmt.Errorf("%w: %d bytes, want ≥ %d", ErrCorrupt, len(data), headerLen)
 	}
 	if !bytes.Equal(data[:4], snapshotMagic[:]) {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+		return nil, "", fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
 	}
-	if v := data[4]; v != snapshotVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrCorrupt, v, snapshotVersion)
+	version := data[4]
+	if version != snapshotVersion && version != snapshotVersionFingerprint {
+		return nil, "", fmt.Errorf("%w: unsupported version %d (want %d or %d)",
+			ErrCorrupt, version, snapshotVersion, snapshotVersionFingerprint)
 	}
 	format := Format(data[5])
-	payload := data[headerLen:]
-	if want, got := binary.LittleEndian.Uint32(data[6:10]), crc32.ChecksumIEEE(payload); want != got {
-		return nil, fmt.Errorf("%w: payload checksum %08x, header says %08x", ErrCorrupt, got, want)
+	tail := data[headerLen:]
+	if want, got := binary.LittleEndian.Uint32(data[6:10]), crc32.ChecksumIEEE(tail); want != got {
+		return nil, "", fmt.Errorf("%w: payload checksum %08x, header says %08x", ErrCorrupt, got, want)
+	}
+	fingerprint := ""
+	payload := tail
+	if version == snapshotVersionFingerprint {
+		if len(tail) < 2 {
+			return nil, "", fmt.Errorf("%w: truncated fingerprint section", ErrCorrupt)
+		}
+		n := int(binary.LittleEndian.Uint16(tail))
+		if len(tail) < 2+n {
+			return nil, "", fmt.Errorf("%w: fingerprint length %d exceeds snapshot", ErrCorrupt, n)
+		}
+		fingerprint = string(tail[2 : 2+n])
+		payload = tail[2+n:]
 	}
 	lib := precompile.NewLibrary()
 	switch format {
 	case FormatGob:
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(lib); err != nil {
-			return nil, fmt.Errorf("%w: gob payload: %v", ErrCorrupt, err)
+			return nil, "", fmt.Errorf("%w: gob payload: %v", ErrCorrupt, err)
 		}
 	case FormatJSON:
 		if err := json.Unmarshal(payload, lib); err != nil {
-			return nil, fmt.Errorf("%w: json payload: %v", ErrCorrupt, err)
+			return nil, "", fmt.Errorf("%w: json payload: %v", ErrCorrupt, err)
 		}
 	default:
-		return nil, fmt.Errorf("%w: unknown format byte %d", ErrCorrupt, byte(format))
+		return nil, "", fmt.Errorf("%w: unknown format byte %d", ErrCorrupt, byte(format))
 	}
 	for key, e := range lib.Entries {
 		if e == nil || e.Pulse == nil {
-			return nil, fmt.Errorf("%w: entry %q has no pulse", ErrCorrupt, key)
+			return nil, "", fmt.Errorf("%w: entry %q has no pulse", ErrCorrupt, key)
 		}
 		if e.Key != key {
 			// The map key is the content address; an entry filed under a
 			// different key would be silently re-keyed by Store.AddLibrary
 			// and served for the wrong group.
-			return nil, fmt.Errorf("%w: entry filed under %q carries key %q", ErrCorrupt, key, e.Key)
+			return nil, "", fmt.Errorf("%w: entry filed under %q carries key %q", ErrCorrupt, key, e.Key)
 		}
 		if err := e.Pulse.Validate(); err != nil {
-			return nil, fmt.Errorf("%w: entry %q: %v", ErrCorrupt, key, err)
+			return nil, "", fmt.Errorf("%w: entry %q: %v", ErrCorrupt, key, err)
 		}
 	}
-	return lib, nil
+	return lib, fingerprint, nil
 }
 
-// SaveSnapshot atomically writes the store's current entries to path.
+// SaveSnapshot atomically writes the store's current entries to path with
+// no fingerprint (legacy layout).
 func (s *Store) SaveSnapshot(path string, format Format) error {
 	return SaveLibrary(s.Snapshot(), path, format)
 }
 
+// SaveSnapshotFingerprint atomically writes the store's current entries to
+// path, stamped with the device+calibration fingerprint they were trained
+// under.
+func (s *Store) SaveSnapshotFingerprint(path string, format Format, fingerprint string) error {
+	return SaveLibraryFingerprint(s.Snapshot(), path, format, fingerprint)
+}
+
 // SaveLibrary atomically writes a library snapshot to path.
 func SaveLibrary(lib *precompile.Library, path string, format Format) error {
-	data, err := EncodeSnapshot(lib, format)
+	return SaveLibraryFingerprint(lib, path, format, "")
+}
+
+// SaveLibraryFingerprint atomically writes a fingerprinted library
+// snapshot to path.
+func SaveLibraryFingerprint(lib *precompile.Library, path string, format Format, fingerprint string) error {
+	data, err := EncodeSnapshotFingerprint(lib, format, fingerprint)
 	if err != nil {
 		return err
 	}
@@ -172,24 +258,48 @@ func SaveLibrary(lib *precompile.Library, path string, format Format) error {
 
 // LoadSnapshot reads a snapshot file into a fresh library.
 func LoadSnapshot(path string) (*precompile.Library, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	lib, err := DecodeSnapshot(data)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return lib, nil
+	lib, _, err := LoadSnapshotFingerprint(path)
+	return lib, err
 }
 
-// LoadInto reads a snapshot file and merges its entries into the store.
-// It returns the number of entries loaded.
-func (s *Store) LoadInto(path string) (int, error) {
-	lib, err := LoadSnapshot(path)
+// LoadSnapshotFingerprint reads a snapshot file into a fresh library and
+// returns the embedded fingerprint ("" for pre-fingerprint files).
+func LoadSnapshotFingerprint(path string) (*precompile.Library, string, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return nil, "", err
+	}
+	lib, fp, err := DecodeSnapshotFingerprint(data)
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	return lib, fp, nil
+}
+
+// LoadInto reads a snapshot file and merges its entries into the store
+// without any fingerprint check. It returns the number of entries loaded.
+func (s *Store) LoadInto(path string) (int, error) {
+	n, _, err := s.LoadIntoChecked(path, "", false)
+	return n, err
+}
+
+// LoadIntoChecked reads a snapshot file and merges its entries into the
+// store after verifying its device+calibration fingerprint against want.
+// A mismatch returns ErrFingerprint (wrapped) and loads nothing — the
+// snapshot was trained for different physics and its pulses would silently
+// drive wrong unitaries — unless force is set, which loads anyway (the
+// operator's -lib-force escape hatch). Legacy snapshots without a
+// fingerprint, or an empty want, skip the check. The snapshot's own
+// fingerprint is returned either way so callers can log it.
+func (s *Store) LoadIntoChecked(path, want string, force bool) (int, string, error) {
+	lib, got, err := LoadSnapshotFingerprint(path)
+	if err != nil {
+		return 0, "", err
+	}
+	if want != "" && got != "" && got != want && !force {
+		return 0, got, fmt.Errorf("%w: %s was trained under %s, this server runs %s",
+			ErrFingerprint, path, got, want)
 	}
 	s.AddLibrary(lib)
-	return len(lib.Entries), nil
+	return len(lib.Entries), got, nil
 }

@@ -13,6 +13,7 @@ import (
 	"container/list"
 	"fmt"
 	"hash/maphash"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -116,6 +117,10 @@ type shard struct {
 type node struct {
 	key   string
 	entry *precompile.Entry
+	// hits counts lookups that found this entry (Get and GetOrTrain),
+	// guarded by the shard lock. The calibration-epoch roll orders its
+	// recompilation most-requested-first from these counts.
+	hits int64
 }
 
 type flightCall struct {
@@ -197,7 +202,9 @@ func (s *Store) Get(key string) (*precompile.Entry, bool) {
 	if ok {
 		sh.lru.MoveToFront(el)
 		// Read under the lock: Put replaces node.entry in place.
-		entry = el.Value.(*node).entry
+		n := el.Value.(*node)
+		n.hits++
+		entry = n.entry
 	}
 	sh.mu.Unlock()
 	if !ok {
@@ -289,7 +296,9 @@ func (s *Store) GetOrTrain(key string, train func() (*precompile.Entry, error)) 
 	sh.mu.Lock()
 	if el, ok := sh.items[key]; ok {
 		sh.lru.MoveToFront(el)
-		entry := el.Value.(*node).entry
+		n := el.Value.(*node)
+		n.hits++
+		entry := n.entry
 		sh.mu.Unlock()
 		s.hits.Add(1)
 		return entry, OutcomeHit, nil
@@ -352,6 +361,39 @@ func (s *Store) Stats() Stats {
 		DedupSuppressed: s.dedup.Load(),
 		TrainFailures:   s.trainFailures.Load(),
 	}
+}
+
+// HitCounts returns a snapshot of the per-entry hit counters, keyed by
+// entry key. Entries never hit are present with count 0.
+func (s *Store) HitCounts() map[string]int64 {
+	out := map[string]int64{}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k, el := range sh.items {
+			out[k] = el.Value.(*node).hits
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// KeysByHits returns every stored key ordered most-requested-first (hit
+// count descending, key ascending on ties, so the order is deterministic).
+// The calibration-epoch recompilation pipeline walks this order: the
+// entries serving the most traffic are re-trained for the new epoch first.
+func (s *Store) KeysByHits() []string {
+	counts := s.HitCounts()
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
 }
 
 // Snapshot copies the store's entries into a plain precompile.Library

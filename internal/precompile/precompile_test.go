@@ -264,6 +264,78 @@ func TestAccelerationStudy1Q(t *testing.T) {
 	t.Logf("cold=%d accel=%d reduction=%.1f%%", cold.Iterations, arms[0].Iterations, 100*arms[0].Reduction)
 }
 
+// TestRetrainEntryCrossEpoch pins the calibration-roll training unit: an
+// entry trained under one Hamiltonian re-trains toward the same target
+// under a ±2% drifted one, and the warm start (its own old pulse) costs
+// fewer GRAPE iterations than re-training cold.
+func TestRetrainEntryCrossEpoch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	cfg := fastCfg()
+	// An rx group: its target does not commute with the σz detuning shift
+	// of a calibration drift, so the drift genuinely invalidates the old
+	// pulse (an rz target would absorb the shift into its own axis).
+	groups := []*grouping.Group{{
+		Qubits: []int{0},
+		Gates:  []gate.Instance{gate.MustInstance(gate.RX, []int{0}, 0.8)},
+	}}
+	uniq, err := grouping.Deduplicate(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := TrainGroup(uniq[0], cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := uniq[0].Group.Unitary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := CanonicalUnitary(u)
+
+	// 20% drift: enough that the old pulse misses the 1e-3 target under
+	// the new physics (percent-level drifts on a ~10 ns 1q pulse keep it inside —
+	// small drifts on a short 1q pulse stay inside it).
+	drifted := cfg
+	drifted.Ham = cfg.Ham.Drift(20)
+	warm, err := RetrainEntry(old, target, drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Key != old.Key || warm.NumQubits != old.NumQubits || warm.Frequency != old.Frequency {
+		t.Fatalf("retrained entry lost identity: %+v vs %+v", warm, old)
+	}
+	if warm.Pulse == old.Pulse {
+		t.Fatal("retrain returned the old pulse object")
+	}
+	// The re-trained pulse must actually drive the target under the NEW
+	// physics.
+	sys, err := hamiltonian.ForQubits(1, drifted.Ham)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf := grape.VerifyPulse(sys, warm.Pulse, target); inf > 1e-3+1e-9 {
+		t.Fatalf("retrained pulse infidelity %v under drifted Hamiltonian", inf)
+	}
+	// And the old pulse, under the new physics, misses the target — the
+	// reason recalibration invalidates the library at all.
+	if oldInf := grape.VerifyPulse(sys, old.Pulse, target); oldInf <= 1e-3 {
+		t.Fatalf("drift did not invalidate the old pulse (infidelity %v)", oldInf)
+	}
+
+	// Cold arm: the same retrain without the seed costs more iterations.
+	stripped := &Entry{Key: old.Key, NumQubits: old.NumQubits, Frequency: old.Frequency}
+	cold, err := RetrainEntry(stripped, target, drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Fatalf("warm retrain took %d iterations, cold took %d — the old-epoch seed did not help",
+			warm.Iterations, cold.Iterations)
+	}
+}
+
 func TestSegmentsForSizes(t *testing.T) {
 	if SegmentsFor(1) >= SegmentsFor(2) {
 		t.Fatal("2q groups should use denser waveforms")

@@ -3,6 +3,7 @@ package precompile
 import (
 	"fmt"
 
+	"accqoc/internal/cmat"
 	"accqoc/internal/grape"
 	"accqoc/internal/grouping"
 	"accqoc/internal/hamiltonian"
@@ -47,6 +48,41 @@ func TrainGroup(g *grouping.UniqueGroup, cfg Config, seed *Entry) (*Entry, error
 		LatencyNs:  res.Duration,
 		Iterations: res.TotalIterations,
 		Frequency:  g.Count,
+		Infidelity: res.Infidelity,
+	}, nil
+}
+
+// RetrainEntry re-trains a library entry toward target unitary u under a
+// new physical model (cfg carries a fresh calibration epoch's Hamiltonian)
+// — the unit of work of the cross-epoch recompilation pipeline. The old
+// entry's pulse warm-starts the optimizer and its latency brackets the
+// binary search at the pulse's native duration, so a small calibration
+// drift converges in a handful of iterations (the paper's warm-start
+// thesis applied across recalibrations). An entry whose Pulse is nil
+// retrains cold — the baseline the warm path is measured against.
+func RetrainEntry(e *Entry, u *cmat.Matrix, cfg Config) (*Entry, error) {
+	cfg = cfg.withDefaults()
+	sys, err := hamiltonian.ForQubits(e.NumQubits, cfg.Ham)
+	if err != nil {
+		return nil, err
+	}
+	gopts := cfg.Grape
+	gopts.Segments = SegmentsFor(e.NumQubits)
+	sopts := cfg.searchFor(e.NumQubits)
+	if e.Pulse != nil && e.LatencyNs > 0 {
+		sopts.HintDuration = e.LatencyNs
+	}
+	res, err := grape.CompileBinarySearch(sys, u, gopts, sopts, e.Pulse)
+	if err != nil {
+		return nil, fmt.Errorf("precompile: retrain %s unreachable in bracket: %w", e.Key, err)
+	}
+	return &Entry{
+		Key:        e.Key,
+		NumQubits:  e.NumQubits,
+		Pulse:      res.Pulse,
+		LatencyNs:  res.Duration,
+		Iterations: res.TotalIterations,
+		Frequency:  e.Frequency,
 		Infidelity: res.Infidelity,
 	}, nil
 }

@@ -1,0 +1,85 @@
+package seedindex
+
+import (
+	"testing"
+
+	"accqoc/internal/hamiltonian"
+	"accqoc/internal/similarity"
+)
+
+// TestUnitaryAccessor pins the cross-epoch recompilation contract: the
+// index hands back each entry's cached achieved unitary without a new
+// propagation, so a calibration roll can recover training targets for
+// free.
+func TestUnitaryAccessor(t *testing.T) {
+	x := New(similarity.TraceFid, hamiltonian.Config{})
+	e := entryFor(t, "a", 1, 1)
+	x.Insert(e)
+	props := x.Stats().Propagations
+
+	u, ok := x.Unitary("a")
+	if !ok || u == nil {
+		t.Fatal("indexed entry has no cached unitary")
+	}
+	if _, ok := x.Unitary("absent"); ok {
+		t.Fatal("unknown key returned a unitary")
+	}
+	if got := x.Stats().Propagations; got != props {
+		t.Fatalf("Unitary propagated (%d → %d)", props, got)
+	}
+	// The cached unitary matches what Insert propagated.
+	want := achieved(t, e)
+	for i := 0; i < u.Rows; i++ {
+		for j := 0; j < u.Cols; j++ {
+			if u.At(i, j) != want.At(i, j) {
+				t.Fatal("cached unitary differs from the propagated one")
+			}
+		}
+	}
+}
+
+// TestParentChainSeeding pins the cross-epoch seeding hook: a fresh
+// epoch's empty index falls through to its parent (the previous epoch),
+// a closer local entry wins once the roll re-covers it, and cutting the
+// link (epoch retirement) stops the fallback.
+func TestParentChainSeeding(t *testing.T) {
+	old := New(similarity.TraceFid, hamiltonian.Config{})
+	oldEntry := entryFor(t, "old", 1, 1)
+	old.Insert(oldEntry)
+
+	fresh := New(similarity.TraceFid, hamiltonian.Config{})
+	fresh.SetParent(old)
+	if fresh.Parent() != old {
+		t.Fatal("parent not linked")
+	}
+
+	q := achieved(t, oldEntry)
+	seed, ok := fresh.Nearest(q, 1)
+	if !ok || seed.Key != "old" {
+		t.Fatalf("fresh epoch did not seed from parent: ok=%v seed=%+v", ok, seed)
+	}
+	// Lookup counted on the queried index, not the parent.
+	if fresh.Stats().Lookups != 1 || fresh.Stats().Seeded != 1 {
+		t.Fatalf("fresh stats %+v", fresh.Stats())
+	}
+	if old.Stats().Lookups != 0 {
+		t.Fatalf("parent lookup counter leaked: %+v", old.Stats())
+	}
+
+	// Once the same key is re-trained into the fresh epoch (distance 0 to
+	// the query), the local entry wins over the parent's.
+	reEntry := entryFor(t, "recompiled", 1, 1.0001)
+	fresh.InsertWithUnitary(reEntry, q)
+	seed, ok = fresh.Nearest(q, 1)
+	if !ok || seed.Key != "recompiled" {
+		t.Fatalf("local entry did not win: %+v", seed)
+	}
+
+	// Retirement cuts the link: only local entries remain reachable.
+	fresh.SetParent(nil)
+	empty := New(similarity.TraceFid, hamiltonian.Config{})
+	empty.SetParent(nil)
+	if _, ok := empty.Nearest(q, 1); ok {
+		t.Fatal("unparented empty index produced a seed")
+	}
+}

@@ -78,6 +78,13 @@ type Index struct {
 	sizeOf  map[string]int
 	systems map[int]*hamiltonian.System
 
+	// parent is the cross-epoch seeding hook: the previous calibration
+	// epoch's index. While a recalibration roll is in flight, Nearest
+	// falls through to the parent, so cache misses in the fresh epoch
+	// warm-start from the old epoch's pulses — near-perfect seeds for a
+	// slightly drifted Hamiltonian. Cleared when the old epoch retires.
+	parent atomic.Pointer[Index]
+
 	lookups, seeded, propagations atomic.Int64
 }
 
@@ -214,14 +221,35 @@ func (x *Index) EntryAdded(e *precompile.Entry) { x.Insert(e) }
 // the index.
 func (x *Index) EntryRemoved(key string) { x.Remove(key) }
 
-// Nearest returns the most similar covered entry of the given size whose
-// distance to u is within similarity.WarmThreshold(fn, dim) — the
-// function- and dimension-correct admission scale. The scan computes only
-// similarity distances over cached unitaries; it never propagates a
-// pulse. Ties break on the lexically smallest key so results are
-// deterministic.
-func (x *Index) Nearest(u *cmat.Matrix, numQubits int) (Seed, bool) {
-	x.lookups.Add(1)
+// SetParent installs a previous epoch's index as the cross-epoch seeding
+// fallback (nil clears it). The parent chain must be acyclic; registries
+// keep it at depth one by clearing a retired epoch's link.
+func (x *Index) SetParent(p *Index) { x.parent.Store(p) }
+
+// Parent returns the current cross-epoch fallback index, nil when none.
+func (x *Index) Parent() *Index { return x.parent.Load() }
+
+// Unitary returns the cached achieved unitary for an indexed key. This is
+// how a calibration roll recovers each covered entry's training target
+// without re-propagating its pulse: the index already paid that
+// propagation (or inherited the target) at insert.
+func (x *Index) Unitary(key string) (*cmat.Matrix, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	sz, ok := x.sizeOf[key]
+	if !ok {
+		return nil, false
+	}
+	ent := x.bySize[sz][key]
+	if ent == nil {
+		return nil, false
+	}
+	return ent.unitary, true
+}
+
+// scanBest returns the closest entry of the given size across this index
+// and its parent chain, without admission or counters.
+func (x *Index) scanBest(u *cmat.Matrix, numQubits int) (*indexed, float64) {
 	var best *indexed
 	bestDist := 0.0
 	x.mu.RLock()
@@ -235,6 +263,28 @@ func (x *Index) Nearest(u *cmat.Matrix, numQubits int) (Seed, bool) {
 		}
 	}
 	x.mu.RUnlock()
+	if p := x.parent.Load(); p != nil {
+		// A parent (previous-epoch) entry wins only on strictly smaller
+		// distance: at a tie the local entry was trained under the
+		// current physics and is the better seed.
+		if pb, pd := p.scanBest(u, numQubits); pb != nil && (best == nil || pd < bestDist) {
+			best, bestDist = pb, pd
+		}
+	}
+	return best, bestDist
+}
+
+// Nearest returns the most similar covered entry of the given size whose
+// distance to u is within similarity.WarmThreshold(fn, dim) — the
+// function- and dimension-correct admission scale. The scan computes only
+// similarity distances over cached unitaries; it never propagates a
+// pulse. Ties break on the lexically smallest key so results are
+// deterministic. When a parent index is linked (a retiring calibration
+// epoch), its entries compete too, so fresh-epoch misses seed from
+// old-epoch pulses until the roll completes.
+func (x *Index) Nearest(u *cmat.Matrix, numQubits int) (Seed, bool) {
+	x.lookups.Add(1)
+	best, bestDist := x.scanBest(u, numQubits)
 	if best == nil || bestDist > similarity.WarmThreshold(x.fn, u.Rows) {
 		return Seed{}, false
 	}

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"accqoc/internal/circuit"
+	"accqoc/internal/devreg"
+	"accqoc/internal/precompile"
 	"accqoc/internal/qasm"
 )
 
@@ -38,10 +40,10 @@ func benchServe(b *testing.B, progA, progB string, disable bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := New(Config{Compile: fastOpts(), Workers: 1, DisableSeedIndex: disable})
-		if _, err := s.compile(pa); err != nil {
+		if _, err := s.compile(pa, s.defaultNS()); err != nil {
 			b.Fatal(err)
 		}
-		resp, err := s.compile(pb)
+		resp, err := s.compile(pb, s.defaultNS())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,4 +69,75 @@ func BenchmarkServeColdVsWarm(b *testing.B) {
 		b.Run(c.name+"/cold", func(b *testing.B) { benchServe(b, c.a, c.b, true) })
 		b.Run(c.name+"/warm", func(b *testing.B) { benchServe(b, c.a, c.b, false) })
 	}
+}
+
+// benchEpochRoll measures the cross-epoch recompilation cost for one
+// calibration event: epoch 0 is warmed with a 1q and a 2q group, the
+// calibration drifts ±2%, and every covered group re-trains for epoch 1.
+// The warm arm drives the server's real pipeline unit (recompileOne:
+// seeded by the old-epoch pulse at its native duration); the cold arm
+// strips the seeds — what every recalibration cost before the registry.
+// grape-iters/op is the summed re-training cost per roll. Fidelity is
+// tightened to 1e-3 so iteration counts are meaningful; GRAPE is seeded,
+// so they are deterministic — wall clock on the shared box is not the
+// signal.
+func benchEpochRoll(b *testing.B, warm bool) {
+	opts := fastOpts()
+	opts.Precompile.Grape.TargetInfidelity = 1e-3
+	pa := mustParse(b, rxAProgram)
+	pc := mustParse(b, cx2qAProgram)
+	var iters int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(Config{Compile: opts, Workers: 1})
+		for _, prog := range []*circuit.Circuit{pa, pc} {
+			if _, err := s.compile(prog, s.defaultNS()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		roll, err := s.Registry().Calibrate("", devreg.CalibrationUpdate{DriftPct: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(roll.Plan) != 2 {
+			b.Fatalf("plan has %d items, want 2", len(roll.Plan))
+		}
+		if warm {
+			for j := range roll.Plan {
+				s.recompileOne(roll, &roll.Plan[j])
+			}
+			st := roll.Status()
+			// The acceptance invariant: the warm path seeds every
+			// re-trained group from its old-epoch pulse.
+			if st.Done != len(roll.Plan) || st.WarmSeeded != st.Done || st.Failed != 0 {
+				b.Fatalf("warm roll did not seed every group: %+v", st)
+			}
+			iters += int64(st.Iterations)
+		} else {
+			cfg := roll.New.Comp.Options().Precompile
+			for _, it := range roll.Plan {
+				stripped := &precompile.Entry{
+					Key: it.Old.Key, NumQubits: it.Old.NumQubits, Frequency: it.Old.Frequency,
+				}
+				e, rerr := precompile.RetrainEntry(stripped, it.Unitary, cfg)
+				if rerr != nil {
+					b.Fatal(rerr)
+				}
+				iters += int64(e.Iterations)
+			}
+		}
+		roll.Finish()
+		s.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(iters)/float64(b.N), "grape-iters/op")
+}
+
+// BenchmarkEpochRollWarmVsCold is the calibration-epoch ablation committed
+// to BENCH_epoch.json: the same ±2% recalibration re-covered with
+// old-epoch warm starts (the registry's roll pipeline) vs cold re-training
+// (the pre-registry cost of a recalibration).
+func BenchmarkEpochRollWarmVsCold(b *testing.B) {
+	b.Run("cold", func(b *testing.B) { benchEpochRoll(b, false) })
+	b.Run("warm", func(b *testing.B) { benchEpochRoll(b, true) })
 }

@@ -1,12 +1,15 @@
 // Package server exposes the AccQOC compilation pipeline as an HTTP JSON
 // service — the long-lived deployment shape the paper's pre-compiled
-// library implies (§IV/§V): many programs, one shared pulse library. The
-// server accepts OpenQASM 2.0 or a workload spec on POST /v1/compile, runs
-// the Prepare→coverage→train→latency pipeline on a bounded worker pool,
-// and serves every trained pulse from the sharded libstore.Store so warm
-// requests cost library lookups instead of GRAPE iterations. Concurrent
-// requests that need the same uncovered gate group trigger exactly one
-// training (the store's singleflight).
+// library implies (§IV/§V): many programs, one shared pulse library per
+// (device, calibration epoch). The server accepts OpenQASM 2.0 or a
+// workload spec on POST /v1/compile, routes the request's `device` field
+// through the device registry (internal/devreg) to the device's
+// current-epoch namespace, runs the Prepare→coverage→train→latency
+// pipeline on a bounded worker pool, and serves every trained pulse from
+// that namespace's sharded libstore.Store so warm requests cost library
+// lookups instead of GRAPE iterations. Concurrent requests that need the
+// same uncovered gate group trigger exactly one training (the store's
+// singleflight).
 //
 // Cache misses do not train cold: the compile path plans each request —
 // covered groups resolve as hits, the uncovered remainder is MST-ordered
@@ -16,6 +19,14 @@
 // through its mutation hook). Earlier-trained groups of a request seed
 // later ones; warm_seeded / seed_distance counters surface the effect in
 // the compile response and /v1/library/stats.
+//
+// A calibration event (POST /v1/devices/{name}/calibrate) opens a new
+// epoch and starts a background recompilation roll on the same worker
+// pool: the old epoch's covered groups are re-trained
+// most-requested-first, each seeded by its own old-epoch pulse, while
+// misses during the roll fall through to the new epoch's cold/MST path
+// (cross-epoch seeded through the index's parent link) — serving never
+// blocks on a recalibration.
 package server
 
 import (
@@ -33,6 +44,7 @@ import (
 	"accqoc/internal/circuit"
 	"accqoc/internal/cmat"
 	"accqoc/internal/crosstalk"
+	"accqoc/internal/devreg"
 	"accqoc/internal/gatepulse"
 	"accqoc/internal/grouping"
 	"accqoc/internal/latency"
@@ -48,10 +60,30 @@ import (
 // Config assembles a Server. The zero value serves the paper's default
 // pipeline (Melbourne, map2b4l) on GOMAXPROCS workers with a fresh store.
 type Config struct {
-	// Compile configures the pipeline (device, policy, GRAPE budgets).
+	// Compile configures the pipeline (device, policy, GRAPE budgets) for
+	// the default device; it is also the option template for the extra
+	// Devices (their topology and Hamiltonian override it per namespace).
 	Compile accqoc.Options
-	// Store is the shared pulse library; nil creates an unbounded one.
+	// Store is the default device's epoch-0 pulse library; nil creates an
+	// unbounded one. Extra devices and later epochs get fresh stores with
+	// StoreOptions.
 	Store *libstore.Store
+	// StoreOptions configure the stores created for extra devices and
+	// fresh calibration epochs (shards, capacity).
+	StoreOptions libstore.Options
+	// DeviceName is the registry name of the default device (the one an
+	// absent `device` request field routes to). Default "default".
+	DeviceName string
+	// Devices are additional device profiles served next to the default,
+	// each with its own namespaced library and epochs.
+	Devices []devreg.Profile
+	// BootSnapshot, when set, is loaded asynchronously into the default
+	// device's store after the server starts; /healthz reports 503 until
+	// the load completes (the readiness gate). The snapshot's
+	// device+calibration fingerprint must match the default profile
+	// unless BootSnapshotForce is set.
+	BootSnapshot      string
+	BootSnapshotForce bool
 	// Workers bounds concurrent compilations. Default GOMAXPROCS.
 	Workers int
 	// QueueDepth bounds pending requests beyond the running ones; a full
@@ -65,13 +97,14 @@ type Config struct {
 	// plan/execute miss path: cache misses then train cold in
 	// deduplication order, reproducing the pre-index serving behavior
 	// byte for byte (useful for A/B comparison and as the determinism
-	// baseline).
+	// baseline). It also disables cross-epoch recompilation plans (the
+	// index is where training targets are cached).
 	DisableSeedIndex bool
 }
 
 func (c Config) withDefaults() Config {
 	if c.Store == nil {
-		c.Store = libstore.New(libstore.Options{})
+		c.Store = libstore.New(c.StoreOptions)
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -96,12 +129,21 @@ type CompileRequest struct {
 	// Workload is a generator spec: qft:N, named:NAME,
 	// random:QUBITS:GATES:SEED (see workload.FromSpec).
 	Workload string `json:"workload,omitempty"`
+	// Device selects a registered device profile; empty routes to the
+	// default device (today's single-device wire format).
+	Device string `json:"device,omitempty"`
 }
 
 // CompileResponse reports one request's accelerated compilation.
 type CompileResponse struct {
 	Qubits int `json:"qubits"`
 	Gates  int `json:"gates"`
+
+	// Device echoes the request's device routing (empty for the default
+	// wire format); Epoch is the calibration epoch that served the
+	// request (0, the boot epoch, is omitted).
+	Device string `json:"device,omitempty"`
+	Epoch  int    `json:"epoch,omitempty"`
 
 	// Coverage of group occurrences by the library at request start
 	// (§V-A). A warm request has coverage 1.
@@ -137,7 +179,9 @@ type CompileResponse struct {
 	seedDistanceSum float64
 }
 
-// StatsResponse is the GET /v1/library/stats body.
+// StatsResponse is the GET /v1/library/stats body. Library and SeedIndex
+// describe the default device's current epoch (the pre-registry wire
+// format); per-device views live under GET /v1/devices.
 type StatsResponse struct {
 	Library libstore.Stats `json:"library"`
 	// SeedIndex reports the warm-start index; nil when disabled.
@@ -159,9 +203,16 @@ type ServerStats struct {
 	QueueDepth int   `json:"queue_depth"`
 }
 
+// job is one unit of worker-pool work: either a compile request against a
+// namespace, or one recompilation item of a calibration roll.
 type job struct {
 	prog *circuit.Circuit
-	done chan jobResult
+	ns   *devreg.Namespace
+	// recomp, when non-nil, marks a background cross-epoch recompilation
+	// item (roll carries the progress accounting).
+	recomp *devreg.RecompItem
+	roll   *devreg.Roll
+	done   chan jobResult
 }
 
 type jobResult struct {
@@ -171,24 +222,26 @@ type jobResult struct {
 
 // Server is the HTTP compilation service.
 type Server struct {
-	cfg   Config
-	comp  *accqoc.Compiler
-	store *libstore.Store
-	// seeds is the warm-start index over covered store entries, kept
-	// coherent through the store's mutation hook; nil when disabled.
-	seeds *seedindex.Index
-	// simFn is the similarity function used for MST planning and the
-	// seed index.
-	simFn similarity.Func
-	mux   *http.ServeMux
+	cfg Config
+	// registry maps device names to their current calibration-epoch
+	// namespaces (compiler + store + seed index per epoch).
+	registry *devreg.Registry
+	mux      *http.ServeMux
 
 	jobs  chan *job
 	quit  chan struct{}
 	wg    sync.WaitGroup
-	start time.Time
+	// rollWG tracks background goroutines outside the worker pool: the
+	// boot-snapshot load and calibration-roll drivers. Close waits for
+	// them after the final queue sweep (a roll driver may be blocked on a
+	// job the sweep answers).
+	rollWG sync.WaitGroup
+	start  time.Time
 
 	requests, failures, rejected atomic.Int64
 	compileNs, warmSeeded        atomic.Int64
+
+	boot bootState
 
 	// closeMu orders handler enqueues against Close: an enqueue holds the
 	// read lock, so once Close holds the write lock and sets closed, every
@@ -202,39 +255,61 @@ type Server struct {
 // New builds a server and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg, err := devreg.New(devreg.Config{
+		Base:             cfg.Compile,
+		StoreOptions:     cfg.StoreOptions,
+		DisableSeedIndex: cfg.DisableSeedIndex,
+	}, devreg.Profile{
+		Name:   cfg.DeviceName,
+		Device: cfg.Compile.Device,
+		Ham:    cfg.Compile.Precompile.Ham,
+	}, cfg.Store)
+	if err != nil {
+		// Only reachable through an impossible default profile; surface
+		// loudly rather than serving a half-built registry.
+		panic(err)
+	}
 	s := &Server{
-		cfg:   cfg,
-		comp:  accqoc.New(cfg.Compile),
-		store: cfg.Store,
-		mux:   http.NewServeMux(),
-		jobs:  make(chan *job, cfg.QueueDepth),
-		quit:  make(chan struct{}),
-		start: time.Now(),
+		cfg:      cfg,
+		registry: reg,
+		mux:      http.NewServeMux(),
+		jobs:     make(chan *job, cfg.QueueDepth),
+		quit:     make(chan struct{}),
+		start:    time.Now(),
 	}
-	s.simFn = s.comp.Options().Precompile.Similarity
-	if s.simFn == "" {
-		s.simFn = similarity.TraceFid
-	}
-	if !cfg.DisableSeedIndex {
-		s.seeds = seedindex.New(s.simFn, s.comp.Options().Precompile.Ham)
-		// Hook first, backfill second: entries racing in between are
-		// indexed twice (idempotent), never missed. The backfill pays
-		// one propagation per pre-loaded entry (snapshot boot).
-		s.store.SetHook(s.seeds)
-		s.seeds.AddLibrary(s.store.Snapshot())
+	for _, p := range cfg.Devices {
+		if rerr := reg.Register(p); rerr != nil {
+			panic(rerr)
+		}
 	}
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("GET /v1/library/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
+	s.mux.HandleFunc("POST /v1/devices/{name}/calibrate", s.handleCalibrate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.startBootLoad()
 	return s
 }
 
-// Store exposes the backing pulse store.
-func (s *Server) Store() *libstore.Store { return s.store }
+// Registry exposes the device registry (admin surfaces, tests).
+func (s *Server) Registry() *devreg.Registry { return s.registry }
+
+// Store exposes the default device's current-epoch pulse store.
+func (s *Server) Store() *libstore.Store { return s.defaultNS().Store }
+
+// defaultNS returns the default device's current namespace without a
+// reference (inspection only).
+func (s *Server) defaultNS() *devreg.Namespace {
+	ns, err := s.registry.Current("")
+	if err != nil {
+		panic(err) // the default device always exists
+	}
+	return ns
+}
 
 // Handler returns the HTTP handler (for http.Server or httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -255,6 +330,9 @@ func (s *Server) Close() {
 		case j := <-s.jobs:
 			j.done <- jobResult{err: errors.New("server closed")}
 		default:
+			// Roll drivers observe closed (or their swept job) and exit;
+			// the boot loader finishes on its own.
+			s.rollWG.Wait()
 			return
 		}
 	}
@@ -277,18 +355,25 @@ func (s *Server) enqueue(j *job) error {
 
 func (s *Server) worker() {
 	defer s.wg.Done()
+	run := func(j *job) {
+		if j.recomp != nil {
+			s.recompileOne(j.roll, j.recomp)
+			j.done <- jobResult{}
+			return
+		}
+		resp, err := s.compile(j.prog, j.ns)
+		j.done <- jobResult{resp: resp, err: err}
+	}
 	for {
 		select {
 		case j := <-s.jobs:
-			resp, err := s.compile(j.prog)
-			j.done <- jobResult{resp: resp, err: err}
+			run(j)
 		case <-s.quit:
 			// Drain whatever is already queued so no handler hangs.
 			for {
 				select {
 				case j := <-s.jobs:
-					resp, err := s.compile(j.prog)
-					j.done <- jobResult{resp: resp, err: err}
+					run(j)
 				default:
 					return
 				}
@@ -376,20 +461,21 @@ func planColdSteps(cold []*grouping.UniqueGroup, fn similarity.Func) ([]trainSte
 // seedFor picks the warm start for one cold step: the MST parent when it
 // trained earlier in this request (its pulse admitted under
 // WarmThreshold, its latency always transferring as the binary-search
-// hint), otherwise the nearest covered entry from the seed index. Called
-// only from inside the training closure, so planned-but-hit groups never
-// pay for a lookup.
-func (s *Server) seedFor(st trainStep, trained []*precompile.Entry) (*precompile.Entry, float64) {
+// hint), otherwise the nearest covered entry from the namespace's seed
+// index (which, during a calibration roll, chains to the previous
+// epoch's). Called only from inside the training closure, so
+// planned-but-hit groups never pay for a lookup.
+func seedFor(ns *devreg.Namespace, fn similarity.Func, st trainStep, trained []*precompile.Entry) (*precompile.Entry, float64) {
 	if st.warmFrom >= 0 {
 		if prev := trained[st.warmFrom]; prev != nil {
 			seed := &precompile.Entry{NumQubits: st.uniq.NumQubits, LatencyNs: prev.LatencyNs}
-			if st.warmDist <= similarity.WarmThreshold(s.simFn, st.unitary.Rows) {
+			if st.warmDist <= similarity.WarmThreshold(fn, st.unitary.Rows) {
 				seed.Pulse = prev.Pulse
 			}
 			return seed, st.warmDist
 		}
 	}
-	if sd, ok := s.seeds.Nearest(st.unitary, st.uniq.NumQubits); ok {
+	if sd, ok := ns.Seeds.Nearest(st.unitary, st.uniq.NumQubits); ok {
 		return &precompile.Entry{
 			NumQubits: st.uniq.NumQubits,
 			Pulse:     sd.Pulse,
@@ -399,18 +485,18 @@ func (s *Server) seedFor(st trainStep, trained []*precompile.Entry) (*precompile
 	return nil, 0
 }
 
-// resolve fetches or trains one unique group through the store's
-// singleflight and updates the response counters. plan, when non-nil,
-// supplies the warm-start seed, its distance, and the group's canonical
-// target unitary; it is consulted only if this call actually executes
-// the training (a hit or a joined in-flight training never evaluates
-// it). A returned unitary pre-indexes the freshly trained entry under
-// its target so the store hook's propagation is skipped (the index
+// resolve fetches or trains one unique group through the namespace
+// store's singleflight and updates the response counters. plan, when
+// non-nil, supplies the warm-start seed, its distance, and the group's
+// canonical target unitary; it is consulted only if this call actually
+// executes the training (a hit or a joined in-flight training never
+// evaluates it). A returned unitary pre-indexes the freshly trained entry
+// under its target so the store hook's propagation is skipped (the index
 // dedups on pulse identity).
-func (s *Server) resolve(resp *CompileResponse, entries map[string]*precompile.Entry, u *grouping.UniqueGroup, cfg precompile.Config, plan func() (*precompile.Entry, float64, *cmat.Matrix)) *precompile.Entry {
+func (s *Server) resolve(ns *devreg.Namespace, resp *CompileResponse, entries map[string]*precompile.Entry, u *grouping.UniqueGroup, cfg precompile.Config, plan func() (*precompile.Entry, float64, *cmat.Matrix)) *precompile.Entry {
 	var seedDist float64
 	var seeded bool
-	e, outcome, err := s.store.GetOrTrain(u.Key, func() (*precompile.Entry, error) {
+	e, outcome, err := ns.Store.GetOrTrain(u.Key, func() (*precompile.Entry, error) {
 		var seed *precompile.Entry
 		var unitary *cmat.Matrix
 		if plan != nil {
@@ -421,8 +507,8 @@ func (s *Server) resolve(resp *CompileResponse, entries map[string]*precompile.E
 			}
 		}
 		trained, terr := precompile.TrainGroup(u, cfg, seed)
-		if terr == nil && s.seeds != nil && unitary != nil {
-			s.seeds.InsertWithUnitary(trained, unitary)
+		if terr == nil && ns.Seeds != nil && unitary != nil {
+			ns.Seeds.InsertWithUnitary(trained, unitary)
 		}
 		return trained, terr
 	})
@@ -450,13 +536,13 @@ func (s *Server) resolve(resp *CompileResponse, entries map[string]*precompile.E
 	return e
 }
 
-// compile runs the serving-side pipeline in a plan/execute shape:
-// Prepare, a stats-neutral coverage plan that MST-orders the request's
-// cache misses, singleflight training along the tree edges with
-// warm-start seeds, and Algorithm 3 latency assembly.
-func (s *Server) compile(prog *circuit.Circuit) (*CompileResponse, error) {
+// compile runs the serving-side pipeline for one namespace in a
+// plan/execute shape: Prepare, a stats-neutral coverage plan that
+// MST-orders the request's cache misses, singleflight training along the
+// tree edges with warm-start seeds, and Algorithm 3 latency assembly.
+func (s *Server) compile(prog *circuit.Circuit, ns *devreg.Namespace) (*CompileResponse, error) {
 	begin := time.Now()
-	prep, err := s.comp.Prepare(prog)
+	prep, err := ns.Comp.Prepare(prog)
 	if err != nil {
 		return nil, err
 	}
@@ -469,6 +555,7 @@ func (s *Server) compile(prog *circuit.Circuit) (*CompileResponse, error) {
 	resp := &CompileResponse{
 		Qubits:      prog.NumQubits,
 		Gates:       prog.GateCount(),
+		Epoch:       ns.Epoch,
 		TotalGroups: len(gr.Groups),
 	}
 
@@ -477,27 +564,28 @@ func (s *Server) compile(prog *circuit.Circuit) (*CompileResponse, error) {
 	// exactly once across all concurrent requests (singleflight).
 	uniq := grouping.DeduplicateKeyed(gr.Groups, keys)
 	entries := make(map[string]*precompile.Entry, len(uniq))
-	cfg := s.comp.Options().Precompile
+	cfg := ns.Comp.Options().Precompile
+	simFn := ns.SimilarityFn()
 	switch {
-	case s.seeds == nil:
+	case ns.Seeds == nil:
 		// Index disabled: resolve in deduplication order with cold
 		// random-init trainings — the pre-index serving path, preserved
 		// byte for byte.
 		for _, u := range uniq {
-			s.resolve(resp, entries, u, cfg, nil)
+			s.resolve(ns, resp, entries, u, cfg, nil)
 		}
 	default:
 		// Plan: partition into covered and cold without touching
 		// counters or LRU order, then MST-order the cold set.
 		var covered, cold []*grouping.UniqueGroup
 		for _, u := range uniq {
-			if s.store.Contains(u.Key) {
+			if ns.Store.Contains(u.Key) {
 				covered = append(covered, u)
 			} else {
 				cold = append(cold, u)
 			}
 		}
-		steps, perr := planColdSteps(cold, s.simFn)
+		steps, perr := planColdSteps(cold, simFn)
 		if perr != nil {
 			// Planning must never fail a request harder than the legacy
 			// path would: the same defect (an unbuildable group unitary,
@@ -505,7 +593,7 @@ func (s *Server) compile(prog *circuit.Circuit) (*CompileResponse, error) {
 			// on the legacy path, where the group is priced gate-based
 			// and counted in failed_groups. Fall back to exactly that.
 			for _, u := range uniq {
-				s.resolve(resp, entries, u, cfg, nil)
+				s.resolve(ns, resp, entries, u, cfg, nil)
 			}
 			break
 		}
@@ -517,22 +605,22 @@ func (s *Server) compile(prog *circuit.Circuit) (*CompileResponse, error) {
 			// A hit never evaluates the closure; it exists for the rare
 			// key evicted between plan and execute, which then trains as
 			// an identity-rooted step (index-seeded) instead of cold.
-			s.resolve(resp, entries, u, cfg, func() (*precompile.Entry, float64, *cmat.Matrix) {
+			s.resolve(ns, resp, entries, u, cfg, func() (*precompile.Entry, float64, *cmat.Matrix) {
 				m, uerr := u.Group.Unitary()
 				if uerr != nil {
 					return nil, 0, nil
 				}
 				cu := precompile.CanonicalUnitary(m)
-				seed, d := s.seedFor(trainStep{uniq: u, unitary: cu, warmFrom: -1}, nil)
+				seed, d := seedFor(ns, simFn, trainStep{uniq: u, unitary: cu, warmFrom: -1}, nil)
 				return seed, d, cu
 			})
 		}
 		trained := make([]*precompile.Entry, len(cold))
 		for _, st := range steps {
 			st := st
-			trained[st.cold] = s.resolve(resp, entries, st.uniq, cfg,
+			trained[st.cold] = s.resolve(ns, resp, entries, st.uniq, cfg,
 				func() (*precompile.Entry, float64, *cmat.Matrix) {
-					seed, d := s.seedFor(st, trained)
+					seed, d := seedFor(ns, simFn, st, trained)
 					return seed, d, st.unitary
 				})
 		}
@@ -547,7 +635,7 @@ func (s *Server) compile(prog *circuit.Circuit) (*CompileResponse, error) {
 	}
 	resp.WarmServed = resp.UncoveredUnique == 0
 
-	dev := s.comp.Options().Device
+	dev := ns.Comp.Options().Device
 	overall, err := latency.OverallGroups(gr, func(i int) (float64, error) {
 		if e, ok := entries[keys[i]]; ok {
 			return e.LatencyNs, nil
@@ -586,8 +674,18 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	ns, err := s.registry.Acquire(req.Device)
+	if err != nil {
+		s.failures.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The reference keeps this namespace (and its retiring epoch) alive
+	// until the response is assembled, even if a calibration lands
+	// mid-request.
+	defer ns.Release()
 
-	j := &job{prog: prog, done: make(chan jobResult, 1)}
+	j := &job{prog: prog, ns: ns, done: make(chan jobResult, 1)}
 	if err := s.enqueue(j); err != nil {
 		s.rejected.Add(1)
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -601,6 +699,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, res.err)
 		return
 	}
+	// Echo the explicit device routing; an empty request field keeps the
+	// single-device wire format byte for byte.
+	res.resp.Device = req.Device
 	s.compileNs.Add(int64(res.resp.CompileMillis * float64(time.Millisecond)))
 	writeJSON(w, http.StatusOK, res.resp)
 }
@@ -626,8 +727,9 @@ func (s *Server) ingest(req CompileRequest) (*circuit.Circuit, error) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ns := s.defaultNS()
 	out := StatsResponse{
-		Library: s.store.Stats(),
+		Library: ns.Store.Stats(),
 		Server: ServerStats{
 			UptimeSeconds:      time.Since(s.start).Seconds(),
 			Requests:           s.requests.Load(),
@@ -639,15 +741,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			QueueDepth:         s.cfg.QueueDepth,
 		},
 	}
-	if s.seeds != nil {
-		st := s.seeds.Stats()
+	if ns.Seeds != nil {
+		st := ns.Seeds.Stats()
 		out.SeedIndex = &st
 	}
 	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -256,12 +256,18 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
 	}
-	var body map[string]string
+	var body HealthResponse
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
-	if body["status"] != "ok" {
-		t.Fatalf("healthz body %v", body)
+	if body.Status != "ok" || !body.Ready {
+		t.Fatalf("healthz body %+v", body)
+	}
+	if body.Boot != nil {
+		t.Fatalf("no boot snapshot configured, healthz reports %+v", body.Boot)
+	}
+	if len(body.Devices) != 1 || body.Devices[0].Epoch != 0 {
+		t.Fatalf("healthz devices %+v, want one device at epoch 0", body.Devices)
 	}
 }
 

@@ -31,15 +31,54 @@ type Device struct {
 }
 
 // Calibration holds the device's timing and error model. Values default to
-// the Melbourne-era numbers quoted in the paper (§II-E).
+// the Melbourne-era numbers quoted in the paper (§II-E). The JSON tags are
+// the wire format of the calibration-epoch admin API (POST
+// /v1/devices/{name}/calibrate) and the -calibration-file hot-reload path.
 type Calibration struct {
-	T1ns            float64 // relaxation time
-	T2ns            float64 // dephasing time
-	CXLatencyNs     float64 // two-qubit gate duration
-	Gate1QLatencyNs float64 // pulse-backed single-qubit gate duration
-	FrameLatencyNs  float64 // frame-change gates (rz/u1/z/s/t family)
-	CXError         float64 // average CX gate error
-	Gate1QError     float64 // average single-qubit gate error
+	T1ns            float64 `json:"t1_ns"`             // relaxation time
+	T2ns            float64 `json:"t2_ns"`             // dephasing time
+	CXLatencyNs     float64 `json:"cx_latency_ns"`     // two-qubit gate duration
+	Gate1QLatencyNs float64 `json:"gate1q_latency_ns"` // pulse-backed single-qubit gate duration
+	FrameLatencyNs  float64 `json:"frame_latency_ns"`  // frame-change gates (rz/u1/z/s/t family)
+	CXError         float64 `json:"cx_error"`          // average CX gate error
+	Gate1QError     float64 `json:"gate1q_error"`      // average single-qubit gate error
+}
+
+// Validate rejects physically meaningless calibrations. Decoherence
+// times and pulse-backed gate latencies must be positive (fidelity
+// estimates divide by T1/T2; zero-latency gates would be free); frame
+// latency and error rates must be non-negative, errors at most 1. Guards
+// the calibration-update API, where a partial JSON body would otherwise
+// silently zero every unspecified field.
+func (c Calibration) Validate() error {
+	switch {
+	case c.T1ns <= 0 || c.T2ns <= 0:
+		return fmt.Errorf("topology: non-positive decoherence times T1=%v T2=%v", c.T1ns, c.T2ns)
+	case c.CXLatencyNs <= 0 || c.Gate1QLatencyNs <= 0:
+		return fmt.Errorf("topology: non-positive gate latencies cx=%v 1q=%v", c.CXLatencyNs, c.Gate1QLatencyNs)
+	case c.FrameLatencyNs < 0:
+		return fmt.Errorf("topology: negative frame latency %v", c.FrameLatencyNs)
+	case c.CXError < 0 || c.CXError > 1 || c.Gate1QError < 0 || c.Gate1QError > 1:
+		return fmt.Errorf("topology: error rates outside [0,1]: cx=%v 1q=%v", c.CXError, c.Gate1QError)
+	}
+	return nil
+}
+
+// Drift returns the calibration scaled by (1 + pct/100) on every timing
+// and error figure — the generic "hardware recalibrated, everything moved
+// a little" perturbation used to model a calibration epoch. Positive pct
+// slows the device down, negative speeds it up.
+func (c Calibration) Drift(pct float64) Calibration {
+	f := 1 + pct/100
+	return Calibration{
+		T1ns:            c.T1ns * f,
+		T2ns:            c.T2ns * f,
+		CXLatencyNs:     c.CXLatencyNs * f,
+		Gate1QLatencyNs: c.Gate1QLatencyNs * f,
+		FrameLatencyNs:  c.FrameLatencyNs * f,
+		CXError:         c.CXError * f,
+		Gate1QError:     c.Gate1QError * f,
+	}
 }
 
 // MelbourneCalibration returns the calibration quoted in the paper:
@@ -150,6 +189,15 @@ func Grid(rows, cols int) *Device {
 		panic(err)
 	}
 	return d
+}
+
+// WithCalibration returns a copy of the device carrying cal — the same
+// topology under a new calibration epoch. The adjacency and distance
+// tables are shared (they are immutable once built).
+func (d *Device) WithCalibration(cal Calibration) *Device {
+	nd := *d
+	nd.Calibration = cal
+	return &nd
 }
 
 // Distance returns the undirected coupling distance between physical qubits

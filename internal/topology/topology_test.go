@@ -130,6 +130,55 @@ func TestMelbourneCalibrationValues(t *testing.T) {
 	}
 }
 
+func TestCalibrationDrift(t *testing.T) {
+	base := MelbourneCalibration()
+	d := base.Drift(2)
+	checks := []struct{ got, want float64 }{
+		{d.T1ns, base.T1ns * 1.02},
+		{d.T2ns, base.T2ns * 1.02},
+		{d.CXLatencyNs, base.CXLatencyNs * 1.02},
+		{d.Gate1QLatencyNs, base.Gate1QLatencyNs * 1.02},
+		{d.FrameLatencyNs, base.FrameLatencyNs * 1.02},
+		{d.CXError, base.CXError * 1.02},
+		{d.Gate1QError, base.Gate1QError * 1.02},
+	}
+	for i, c := range checks {
+		if c.got != c.want {
+			t.Errorf("field %d: drifted %v, want %v", i, c.got, c.want)
+		}
+	}
+	// Negative drift speeds the device up; zero is identity.
+	if Drifted := base.Drift(-2); Drifted.CXLatencyNs >= base.CXLatencyNs {
+		t.Fatal("negative drift did not reduce the CX latency")
+	}
+	if base.Drift(0) != base {
+		t.Fatal("zero drift changed the calibration")
+	}
+}
+
+func TestWithCalibrationSharesTopology(t *testing.T) {
+	d := Melbourne()
+	cal := d.Calibration.Drift(5)
+	nd := d.WithCalibration(cal)
+	if nd == d {
+		t.Fatal("WithCalibration returned the receiver")
+	}
+	if nd.Calibration != cal || d.Calibration == cal {
+		t.Fatal("calibration not applied copy-on-write")
+	}
+	// Topology (and precomputed tables) are shared and identical.
+	if nd.NumQubits != d.NumQubits || len(nd.Edges) != len(d.Edges) {
+		t.Fatal("topology changed")
+	}
+	for q := 0; q < d.NumQubits; q++ {
+		for p := 0; p < d.NumQubits; p++ {
+			if nd.Distance(q, p) != d.Distance(q, p) {
+				t.Fatal("distance table changed")
+			}
+		}
+	}
+}
+
 func TestDisconnectedDistance(t *testing.T) {
 	d, err := New("two-islands", 4, []Edge{{0, 1}, {2, 3}}, Calibration{})
 	if err != nil {

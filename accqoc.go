@@ -209,9 +209,69 @@ func (c *Compiler) ProfileParallel(programs []*circuit.Circuit, workers int) (*P
 	return &ProfileResult{Programs: len(programs), UniqueGroups: len(uniq), Stats: res.Stats}, nil
 }
 
+// GroupPlan is the pre-resolution view of one program: the prepared
+// circuit plus each group occurrence's canonical library key and
+// orientation, computed in a single pass (every group unitary is built
+// exactly once). Both the batch Compile path and the serving path resolve
+// a plan against their respective libraries; scheduling afterwards is
+// lookup-only.
+type GroupPlan struct {
+	Prepared *Prepared
+	// Keys[i] is the canonical library key of occurrence i; Swapped[i]
+	// reports that the occurrence mirrors the canonical qubit orientation
+	// (its pulse replays with the per-qubit channels exchanged).
+	Keys    []string
+	Swapped []bool
+	// Unique are the occurrences deduplicated by key, in first-occurrence
+	// order, with occurrence counts.
+	Unique []*grouping.UniqueGroup
+}
+
+// PlanGroups runs the compilation front end and the canonical-key pass
+// without resolving or training anything.
+func (c *Compiler) PlanGroups(prog *circuit.Circuit) (*GroupPlan, error) {
+	prep, err := c.Prepare(prog)
+	if err != nil {
+		return nil, err
+	}
+	gr := prep.Grouping
+	plan := &GroupPlan{
+		Prepared: prep,
+		Keys:     make([]string, len(gr.Groups)),
+		Swapped:  make([]bool, len(gr.Groups)),
+	}
+	for i, g := range gr.Groups {
+		u, uerr := g.Unitary()
+		if uerr != nil {
+			return nil, uerr
+		}
+		plan.Keys[i], plan.Swapped[i] = grouping.CanonicalOrientation(u)
+	}
+	plan.Unique = grouping.DeduplicateKeyed(gr.Groups, plan.Keys)
+	return plan, nil
+}
+
+// Result seeds a CompileResult with the plan's prepared program and
+// occurrence keys — the fields schedule assembly needs. Resolution
+// counters (coverage, training cost, latencies) are the caller's to fill.
+func (p *GroupPlan) Result() *CompileResult {
+	return &CompileResult{
+		Prepared: *p.Prepared,
+		Keys:     append([]string(nil), p.Keys...),
+		Swapped:  append([]bool(nil), p.Swapped...),
+	}
+}
+
 // CompileResult reports one program's accelerated dynamic compilation.
 type CompileResult struct {
 	Prepared
+
+	// Keys and Swapped record, per group occurrence, the canonical library
+	// key and whether the occurrence mirrors the canonical orientation —
+	// resolved once during the key pass so that scheduling never rebuilds
+	// a unitary or repeats the orientation search.
+	Keys    []string
+	Swapped []bool
 
 	// Coverage of group occurrences by the pre-compiled library (§V-A).
 	CoverageRate  float64
@@ -239,52 +299,35 @@ type CompileResult struct {
 // Newly trained pulses are added to the library, so later programs
 // benefit.
 func (c *Compiler) Compile(prog *circuit.Circuit) (*CompileResult, error) {
-	prep, err := c.Prepare(prog)
+	plan, err := c.PlanGroups(prog)
 	if err != nil {
 		return nil, err
 	}
-	res := &CompileResult{Prepared: *prep}
-	gr := prep.Grouping
+	res := plan.Result()
+	gr := plan.Prepared.Grouping
 
-	// Coverage pass: split occurrences into covered / uncovered.
-	type occ struct {
-		key  string
-		uniq *grouping.UniqueGroup
-	}
+	// Coverage pass (§V-A): split the deduplicated plan into covered and
+	// uncovered unique groups.
 	res.TotalGroups = len(gr.Groups)
-	uncoveredByKey := map[string]*grouping.UniqueGroup{}
-	keys := make([]string, len(gr.Groups))
-	for i, g := range gr.Groups {
-		key, kerr := g.Key()
-		if kerr != nil {
-			return nil, kerr
-		}
-		keys[i] = key
-		if _, ok := c.lib.Entries[key]; ok {
-			res.CoveredGroups++
+	var uncovered []*grouping.UniqueGroup
+	for _, u := range plan.Unique {
+		if _, ok := c.lib.Entries[u.Key]; ok {
+			res.CoveredGroups += u.Count
 			continue
 		}
-		if u, ok := uncoveredByKey[key]; ok {
-			u.Count++
-			continue
-		}
-		uncoveredByKey[key] = &grouping.UniqueGroup{Key: key, Group: g, Count: 1, NumQubits: len(g.Qubits)}
+		uncovered = append(uncovered, u)
 	}
 	if res.TotalGroups > 0 {
 		res.CoverageRate = float64(res.CoveredGroups) / float64(res.TotalGroups)
 	} else {
 		res.CoverageRate = 1
 	}
-	res.UncoveredUnique = len(uncoveredByKey)
+	res.UncoveredUnique = len(uncovered)
 
 	// Train uncovered groups (§V-B/C): MST order with warm starts, with
 	// library pulses as additional seeds for identity-rooted vertices.
 	start := time.Now()
-	if len(uncoveredByKey) > 0 {
-		uncovered := make([]*grouping.UniqueGroup, 0, len(uncoveredByKey))
-		for _, u := range uncoveredByKey {
-			uncovered = append(uncovered, u)
-		}
+	if len(uncovered) > 0 {
 		sortUnique(uncovered)
 		iters, terr := c.trainUncovered(uncovered)
 		if terr != nil {
@@ -296,16 +339,12 @@ func (c *Compiler) Compile(prog *circuit.Circuit) (*CompileResult, error) {
 
 	// Latency assembly (Algorithm 3) over per-occurrence latencies.
 	overall, err := latency.OverallGroups(gr, func(i int) (float64, error) {
-		e, ok := c.lib.Entries[keys[i]]
+		e, ok := c.lib.Entries[res.Keys[i]]
 		if !ok {
 			// The group failed to train within budget: fall back to the
 			// gate-based latency of its member gates so the program still
 			// compiles end to end.
-			var sum float64
-			for _, g := range gr.Groups[i].Gates {
-				sum += gatepulse.GateLatency(g.Name, c.opts.Device.Calibration)
-			}
-			return sum, nil
+			return c.gateFallbackNs(gr.Groups[i]), nil
 		}
 		return e.LatencyNs, nil
 	})
@@ -313,12 +352,29 @@ func (c *Compiler) Compile(prog *circuit.Circuit) (*CompileResult, error) {
 		return nil, err
 	}
 	res.OverallLatencyNs = overall
-	res.GateBasedLatencyNs = gatepulse.Overall(prep.Physical, c.opts.Device.Calibration)
+	res.GateBasedLatencyNs = gatepulse.Overall(plan.Prepared.Physical, c.opts.Device.Calibration)
 	if overall > 0 {
 		res.LatencyReduction = res.GateBasedLatencyNs / overall
 	}
-	res.EstimatedFidelity = crosstalk.ProgramFidelity(prep.Physical, c.opts.Device, overall)
+	res.EstimatedFidelity = crosstalk.ProgramFidelity(plan.Prepared.Physical, c.opts.Device, overall)
 	return res, nil
+}
+
+// gateFallbackNs prices an untrained group under the compiler's device.
+func (c *Compiler) gateFallbackNs(g *grouping.Group) float64 {
+	return GateFallbackNs(g, c.opts.Device.Calibration)
+}
+
+// GateFallbackNs prices an untrained group as the sum of its member
+// gates' calibrated pulse latencies — the gate-based fallback shared by
+// compilation, schedule assembly, and the serving path, so all three
+// always agree on an uncovered group's duration.
+func GateFallbackNs(g *grouping.Group, cal topology.Calibration) float64 {
+	var sum float64
+	for _, inst := range g.Gates {
+		sum += gatepulse.GateLatency(inst.Name, cal)
+	}
+	return sum
 }
 
 // trainUncovered compiles the uncovered unique groups per size class in

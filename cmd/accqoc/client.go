@@ -88,8 +88,10 @@ func assignDevices(mix []deviceWeight, n int) []string {
 // request n times with the given concurrency — optionally spread across a
 // weighted multi-device mix — and reports how request latency collapses
 // once the pulse libraries are warm, with a per-device breakdown, then
-// prints the server's /v1/library/stats.
-func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency int) error {
+// prints the server's /v1/library/stats. With circuits set it exercises
+// the whole-program endpoint (POST /v1/circuits/compile) instead, adding
+// the scheduled-pulse-program view: makespan, slot count, coverage.
+func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency int, circuits bool) error {
 	var req server.CompileRequest
 	switch {
 	case inPath != "" && workloadSpec != "":
@@ -122,10 +124,18 @@ func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency i
 		device string
 		wall   time.Duration
 		resp   server.CompileResponse
-		err    error
-		debug  string
+		// makespan/slots carry the schedule view in -circuits mode.
+		makespan float64
+		slots    int
+		err      error
+		debug    string
 	}
 	samples := make([]sample, n)
+
+	endpoint := "/v1/compile"
+	if circuits {
+		endpoint = "/v1/circuits/compile"
+	}
 
 	// The first request runs alone so the cold-path cost is unambiguous;
 	// the rest fan out with the requested concurrency against the now-warm
@@ -139,18 +149,30 @@ func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency i
 			return
 		}
 		start := time.Now()
-		resp, err := http.Post(baseURL+"/v1/compile", "application/json", bytes.NewReader(payload))
+		resp, err := http.Post(baseURL+endpoint, "application/json", bytes.NewReader(payload))
 		s := sample{idx: i, device: devices[i], wall: time.Since(start)}
 		if err != nil {
 			s.err = err
 		} else {
 			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
+			switch {
+			case resp.StatusCode != http.StatusOK:
 				raw, _ := io.ReadAll(resp.Body)
 				s.err = fmt.Errorf("status %d", resp.StatusCode)
 				s.debug = string(raw)
-			} else if derr := json.NewDecoder(resp.Body).Decode(&s.resp); derr != nil {
-				s.err = derr
+			case circuits:
+				var cr server.CircuitResponse
+				if derr := json.NewDecoder(resp.Body).Decode(&cr); derr != nil {
+					s.err = derr
+				} else {
+					s.resp = cr.Compile
+					s.makespan = cr.MakespanNs
+					s.slots = len(cr.Schedule)
+				}
+			default:
+				if derr := json.NewDecoder(resp.Body).Decode(&s.resp); derr != nil {
+					s.err = derr
+				}
 			}
 		}
 		samples[i] = s
@@ -180,16 +202,22 @@ func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency i
 	fmt.Printf("cold request: %v wall, %.1f ms compile, coverage %.0f%%, %d groups trained\n",
 		cold.wall.Round(time.Millisecond), cold.resp.CompileMillis,
 		100*cold.resp.CoverageRate, cold.resp.UncoveredUnique)
+	if circuits {
+		fmt.Printf("scheduled program: %d slots, makespan %.0f ns vs %.0f ns gate-based (%.2fx)\n",
+			cold.slots, cold.makespan, cold.resp.GateLatencyNs, cold.resp.LatencyReduction)
+	}
 
 	var warm []time.Duration
 	warmServed := 0
 	failed := 0
+	var covSum float64
 	for _, s := range samples[1:] {
 		if s.err != nil {
 			failed++
 			continue
 		}
 		warm = append(warm, s.wall)
+		covSum += s.resp.CoverageRate
 		if s.resp.WarmServed {
 			warmServed++
 		}
@@ -203,6 +231,10 @@ func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency i
 			median.Round(time.Microsecond), warm[0].Round(time.Microsecond), warm[len(warm)-1].Round(time.Microsecond))
 		if median > 0 {
 			fmt.Printf("cold/warm speedup: %.1fx\n", float64(cold.wall)/float64(median))
+		}
+		if circuits {
+			fmt.Printf("coverage: cold %.0f%%, warm mean %.0f%% (%d of %d fully covered)\n",
+				100*cold.resp.CoverageRate, 100*covSum/float64(len(warm)), warmServed, len(warm))
 		}
 	}
 

@@ -13,6 +13,7 @@
 //	accqoc -server http://localhost:8080 -in program.qasm -requests 20 -concurrency 4
 //	accqoc -server http://localhost:8080 -workload qft:4 -requests 10
 //	accqoc -server http://localhost:8080 -workload qft:4 -devices melbourne:0.7,linear5:0.3
+//	accqoc -server http://localhost:8080 -workload qft:4 -circuits     # scheduled pulse programs
 package main
 
 import (
@@ -47,10 +48,12 @@ func main() {
 	concurrency := flag.Int("concurrency", 4, "concurrent in-flight requests in -server mode")
 	deviceMix := flag.String("devices", "",
 		"weighted multi-device traffic mix for -server mode, e.g. melbourne:0.7,linear5:0.3 (empty = default device)")
+	circuits := flag.Bool("circuits", false,
+		"loadgen against POST /v1/circuits/compile: whole-program scheduled pulse programs instead of per-group compiles")
 	flag.Parse()
 
 	if *serverURL != "" {
-		if err := runClient(*serverURL, *in, *workloadSpec, *deviceMix, *requests, *concurrency); err != nil {
+		if err := runClient(*serverURL, *in, *workloadSpec, *deviceMix, *requests, *concurrency, *circuits); err != nil {
 			fatal(err)
 		}
 		return

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"accqoc"
+	"accqoc/internal/circuit"
 	"accqoc/internal/cmat"
 	"accqoc/internal/hamiltonian"
 	"accqoc/internal/libstore"
@@ -99,6 +100,15 @@ type Namespace struct {
 	dev      *deviceState
 	refs     atomic.Int64
 	retiring atomic.Bool
+}
+
+// Plan runs the namespace compiler's front end and canonical-key pass for
+// one program — the circuit-serving entry point. It touches neither the
+// store nor the index (no training, no counters), so a plan can be built
+// outside the worker pool and resolved against the namespace later; the
+// (device, epoch) physics are baked into the namespace's compiler.
+func (ns *Namespace) Plan(prog *circuit.Circuit) (*accqoc.GroupPlan, error) {
+	return ns.Comp.PlanGroups(prog)
 }
 
 // SimilarityFn returns the similarity function this namespace plans and

@@ -107,23 +107,35 @@ func (l *Library) Lookup(g *grouping.Group) (*Entry, bool, error) {
 
 // PulseFor returns the pulse driving the given unitary: the stored
 // canonical pulse, with per-qubit control channels exchanged when the
-// group's orientation is the mirror of the canonical one.
+// group's orientation is the mirror of the canonical one. Callers that
+// already hold the occurrence's canonical key and orientation flag (the
+// key pass of accqoc.PlanGroups) should look the entry up directly and
+// use OrientPulse — this method pays a fresh orientation search.
 func (l *Library) PulseFor(u *cmat.Matrix) (*pulse.Pulse, bool) {
 	key, swapped := grouping.CanonicalOrientation(u)
 	e, ok := l.Entries[key]
 	if !ok {
 		return nil, false
 	}
-	p := e.Pulse.Clone()
-	if swapped && p.Channels() == 4 {
-		// Channels are x0,y0,x1,y1: exchange qubit 0 and 1 drives.
-		p.Amps[0], p.Amps[2] = p.Amps[2], p.Amps[0]
-		p.Amps[1], p.Amps[3] = p.Amps[3], p.Amps[1]
-		p.Labels = append([]string(nil), p.Labels...)
-		p.Labels[0], p.Labels[2] = p.Labels[2], p.Labels[0]
-		p.Labels[1], p.Labels[3] = p.Labels[3], p.Labels[1]
+	return OrientPulse(e.Pulse, swapped), true
+}
+
+// OrientPulse returns the channel-correct waveform for one occurrence of
+// a library pulse: a clone, with the per-qubit drive channels exchanged
+// when the occurrence mirrors the canonical orientation. Nil-safe.
+func OrientPulse(p *pulse.Pulse, mirrored bool) *pulse.Pulse {
+	if p == nil {
+		return nil
 	}
-	return p, true
+	out := p.Clone()
+	if mirrored && out.Channels() == 4 {
+		// Channels are x0,y0,x1,y1: exchange qubit 0 and 1 drives.
+		out.Amps[0], out.Amps[2] = out.Amps[2], out.Amps[0]
+		out.Amps[1], out.Amps[3] = out.Amps[3], out.Amps[1]
+		out.Labels[0], out.Labels[2] = out.Labels[2], out.Labels[0]
+		out.Labels[1], out.Labels[3] = out.Labels[3], out.Labels[1]
+	}
+	return out
 }
 
 // GroupStat records one training step for reporting.

@@ -10,6 +10,7 @@ import (
 	"accqoc/internal/grape"
 	"accqoc/internal/grouping"
 	"accqoc/internal/hamiltonian"
+	"accqoc/internal/pulse"
 	"accqoc/internal/similarity"
 )
 
@@ -342,5 +343,37 @@ func TestSegmentsForSizes(t *testing.T) {
 	}
 	if FixedDurationFor(2) < 937 {
 		t.Fatal("2q fixed duration below the SWAP speed limit")
+	}
+}
+
+// TestOrientPulse covers the extracted channel-orientation helper shared
+// by Library.PulseFor and schedule assembly.
+func TestOrientPulse(t *testing.T) {
+	p := pulse.New([]string{"x0", "y0", "x1", "y1"}, 2, 1)
+	p.Amps[0][0], p.Amps[1][0], p.Amps[2][0], p.Amps[3][0] = 1, 2, 3, 4
+
+	m := OrientPulse(p, true)
+	if m.Amps[0][0] != 3 || m.Amps[1][0] != 4 || m.Amps[2][0] != 1 || m.Amps[3][0] != 2 {
+		t.Fatalf("mirrored amps %v", m.Amps)
+	}
+	if m.Labels[0] != "x1" || m.Labels[2] != "x0" {
+		t.Fatalf("mirrored labels %v", m.Labels)
+	}
+	if p.Amps[0][0] != 1 || p.Labels[0] != "x0" {
+		t.Fatal("OrientPulse mutated its input")
+	}
+
+	same := OrientPulse(p, false)
+	if same.Amps[0][0] != 1 || same.Amps[2][0] != 3 {
+		t.Fatalf("unmirrored clone changed: %v", same.Amps)
+	}
+	if OrientPulse(nil, true) != nil {
+		t.Fatal("nil pulse must orient to nil")
+	}
+	// Single-qubit pulses have nothing to exchange.
+	q := pulse.New([]string{"x0", "y0"}, 2, 1)
+	q.Amps[0][0] = 5
+	if OrientPulse(q, true).Amps[0][0] != 5 {
+		t.Fatal("2-channel pulse was permuted")
 	}
 }

@@ -1,0 +1,63 @@
+package qasm
+
+import (
+	"testing"
+
+	"accqoc/internal/workload"
+)
+
+// FuzzParse is the parser's no-panic guarantee: arbitrary input must
+// either parse or return an error — never panic, never overflow the
+// stack. Accepted programs must additionally survive a Print→Parse round
+// trip with their shape intact (the invariant qasmgen and the server's
+// ingestion path both rely on).
+//
+// The seed corpus combines what the generators emit (the §VI-A suite via
+// the same workload constructors cmd/qasmgen uses) with hand-written edge
+// cases, including the crashers this fuzzer found: negative and
+// int-overflowing qreg sizes reaching circuit.New, unbounded expression
+// recursion overflowing the stack, arithmetic overflow to ±Inf passing
+// silently, and a second qreg declaration dropping already-parsed gates.
+// More crashers live in testdata/fuzz/FuzzParse.
+func FuzzParse(f *testing.F) {
+	for _, p := range workload.NamedSuite() {
+		f.Add(Print(p.Circuit))
+	}
+	f.Add(Print(workload.QFT(4).Circuit))
+	if rp, err := workload.Random("fuzz", 3, 16, 7); err == nil {
+		f.Add(Print(rp.Circuit))
+	}
+	for _, s := range []string{
+		sample,
+		"qreg q[-1];",
+		"qreg q[0];",
+		"qreg a[9223372036854775807];\nqreg b[9223372036854775807];",
+		"qreg q[2000000000];",
+		"qreg q[1];\nrx(----------------1) q[0];",
+		"qreg q[1];\nrx((((((((1)))))))) q[0];",
+		"qreg q[1];\nrx(1e308*10) q[0];",
+		"qreg a[1];\nh a[0];\nqreg b[1];\ncx a[0],b[0];",
+		"qreg q[2];\ncx q[0],q[0];",
+		"qreg q[2];\nmeasure q[0] -> c[0];\nbarrier q;\nh q[1];",
+		"qreg q[1];\nu3(0.1,-0.2,3*pi/4) q[0];",
+		"qreg q[1];\nrx(1/0) q[0];",
+		"qreg q[1];\nrx() q[0];",
+		"h q[0];",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(src)
+		if err != nil {
+			return
+		}
+		c2, rerr := Parse(Print(c))
+		if rerr != nil {
+			t.Fatalf("accepted program failed the Print round trip: %v\ninput: %q", rerr, src)
+		}
+		if c2.NumQubits != c.NumQubits || c2.GateCount() != c.GateCount() {
+			t.Fatalf("round trip changed shape: %d→%d qubits, %d→%d gates\ninput: %q",
+				c.NumQubits, c2.NumQubits, c.GateCount(), c2.GateCount(), src)
+		}
+	})
+}

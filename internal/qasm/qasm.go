@@ -69,6 +69,18 @@ func splitStatements(src string) []string {
 	return out
 }
 
+// maxQubits caps the parser's total wire count. Parsing itself allocates
+// nothing per qubit, but every downstream pass (DAG construction, mapping)
+// does — a few-byte declaration like "qreg q[2000000000]" must be rejected
+// at the door, not melt the first consumer.
+const maxQubits = 1 << 20
+
+// maxExprDepth caps parameter-expression nesting. The expression parser is
+// recursive-descent; without a cap, inputs like "rx((((…((1))…)))) q[0]"
+// or a long run of unary minuses recurse once per character and overflow
+// the goroutine stack (a fatal crash, not a recoverable panic).
+const maxExprDepth = 64
+
 type qreg struct {
 	name   string
 	offset int
@@ -104,11 +116,30 @@ func (p *parser) qregDecl(s string) error {
 	if err != nil {
 		return fmt.Errorf("qasm: bad qreg declaration %q: %w", s, err)
 	}
+	// A non-positive size is invalid OpenQASM; letting it through used to
+	// drive circuit.New(n) with a negative wire count (a panic). The
+	// subtraction form of the total-size check cannot overflow.
+	if size <= 0 {
+		return fmt.Errorf("qasm: qreg %s[%d]: size must be positive", name, size)
+	}
+	if size > maxQubits-p.n {
+		return fmt.Errorf("qasm: qreg %s[%d]: program exceeds %d total qubits", name, size, maxQubits)
+	}
+	for _, r := range p.regs {
+		if r.name == name {
+			return fmt.Errorf("qasm: qreg %q redeclared", name)
+		}
+	}
 	p.regs = append(p.regs, qreg{name: name, offset: p.n, size: size})
 	p.n += size
-	p.circ = circuit.New(p.n)
-	// Rebuild circuit wire count if gates were already appended (unusual
-	// but legal ordering). Gates before any qreg are rejected elsewhere.
+	// Widen the wire space in place: gates appended between two qreg
+	// declarations are preserved (rebuilding the circuit here used to
+	// silently drop them).
+	if p.circ == nil {
+		p.circ = circuit.New(p.n)
+	} else {
+		p.circ.NumQubits = p.n
+	}
 	return nil
 }
 
@@ -198,6 +229,12 @@ func (p *parser) gateStmt(s string) error {
 			if err != nil {
 				return fmt.Errorf("qasm: %q: %w", s, err)
 			}
+			// Arithmetic can overflow to ±Inf (e.g. 1e308*10) without a
+			// parse error; a non-finite rotation angle is physically
+			// meaningless and poisons every downstream unitary with NaNs.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("qasm: %q: parameter %q is not finite", s, expr)
+			}
 			params = append(params, v)
 		}
 	}
@@ -241,8 +278,9 @@ func evalExpr(s string) (float64, error) {
 }
 
 type exprParser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int
 }
 
 func (e *exprParser) skipSpace() {
@@ -318,6 +356,13 @@ func (e *exprParser) parseProduct() (float64, error) {
 }
 
 func (e *exprParser) parseUnary() (float64, error) {
+	// Every recursion cycle (unary sign chains, parenthesized sums) passes
+	// through here, so this single check bounds the whole parser's stack.
+	if e.depth >= maxExprDepth {
+		return 0, fmt.Errorf("expression %q nests deeper than %d", e.src, maxExprDepth)
+	}
+	e.depth++
+	defer func() { e.depth-- }()
 	e.skipSpace()
 	if e.peek() == '-' {
 		e.pos++

@@ -168,3 +168,61 @@ func TestParseNoQreg(t *testing.T) {
 		t.Fatal("expected error for program without qreg")
 	}
 }
+
+// TestParseRejectsBadQregSizes pins the crasher fixes surfaced by
+// FuzzParse: non-positive and int-overflowing register sizes must come
+// back as errors, never reach circuit.New (which panics on negative wire
+// counts), and never blow past the parser's total-qubit ceiling.
+func TestParseRejectsBadQregSizes(t *testing.T) {
+	for _, src := range []string{
+		"qreg q[-1];",
+		"qreg q[0];",
+		"qreg a[9223372036854775807];\nqreg b[9223372036854775807];",
+		"qreg q[2000000000];",
+		"qreg a[2];\nqreg a[3];",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted an invalid register", src)
+		}
+	}
+}
+
+// TestParseMultiQregKeepsGates pins the gate-drop fix: a gate appended
+// between two qreg declarations used to be silently discarded when the
+// second declaration rebuilt the circuit.
+func TestParseMultiQregKeepsGates(t *testing.T) {
+	c, err := Parse("qreg a[1];\nh a[0];\nqreg b[1];\ncx a[0],b[0];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 2 || c.GateCount() != 2 {
+		t.Fatalf("got %d qubits, %d gates; want 2 and 2 (h dropped?)", c.NumQubits, c.GateCount())
+	}
+	if c.Gates[0].Name != gate.H || c.Gates[1].Name != gate.CX {
+		t.Fatalf("gate order %v", c.Gates)
+	}
+}
+
+// TestParseExprDepthBounded pins the stack-overflow fix: deeply nested
+// parameter expressions error out instead of recursing per character.
+func TestParseExprDepthBounded(t *testing.T) {
+	deep := "qreg q[1];\nrx(" + strings.Repeat("(", 50000) + "1" + strings.Repeat(")", 50000) + ") q[0];"
+	if _, err := Parse(deep); err == nil {
+		t.Fatal("unbounded parenthesis nesting accepted")
+	}
+	minus := "qreg q[1];\nrx(" + strings.Repeat("-", 50000) + "1) q[0];"
+	if _, err := Parse(minus); err == nil {
+		t.Fatal("unbounded unary-minus nesting accepted")
+	}
+	// Reasonable nesting still parses.
+	if _, err := Parse("qreg q[1];\nrx(-(-(2*(pi/4)))) q[0];"); err != nil {
+		t.Fatalf("modest nesting rejected: %v", err)
+	}
+}
+
+// TestParseRejectsNonFiniteParams pins the overflow-to-Inf fix.
+func TestParseRejectsNonFiniteParams(t *testing.T) {
+	if _, err := Parse("qreg q[1];\nrx(1e308*10) q[0];"); err == nil {
+		t.Fatal("infinite parameter accepted")
+	}
+}

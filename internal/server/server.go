@@ -54,6 +54,7 @@ import (
 	"accqoc/internal/seedindex"
 	"accqoc/internal/simgraph"
 	"accqoc/internal/similarity"
+	"accqoc/internal/topology"
 	"accqoc/internal/workload"
 )
 
@@ -203,11 +204,18 @@ type ServerStats struct {
 	QueueDepth int   `json:"queue_depth"`
 }
 
-// job is one unit of worker-pool work: either a compile request against a
-// namespace, or one recompilation item of a calibration roll.
+// job is one unit of worker-pool work: a compile request against a
+// namespace, a whole-circuit compile (scheduled pulse program), or one
+// recompilation item of a calibration roll.
 type job struct {
 	prog *circuit.Circuit
 	ns   *devreg.Namespace
+	// circuit marks a whole-circuit job (POST /v1/circuits/compile): the
+	// worker answers with a scheduled pulse program instead of the plain
+	// compile summary; waveforms additionally inlines the referenced
+	// waveforms in the response.
+	circuit   bool
+	waveforms bool
 	// recomp, when non-nil, marks a background cross-epoch recompilation
 	// item (roll carries the progress accounting).
 	recomp *devreg.RecompItem
@@ -217,6 +225,7 @@ type job struct {
 
 type jobResult struct {
 	resp *CompileResponse
+	circ *CircuitResponse
 	err  error
 }
 
@@ -228,9 +237,9 @@ type Server struct {
 	registry *devreg.Registry
 	mux      *http.ServeMux
 
-	jobs  chan *job
-	quit  chan struct{}
-	wg    sync.WaitGroup
+	jobs chan *job
+	quit chan struct{}
+	wg   sync.WaitGroup
 	// rollWG tracks background goroutines outside the worker pool: the
 	// boot-snapshot load and calibration-roll drivers. Close waits for
 	// them after the final queue sweep (a roll driver may be blocked on a
@@ -283,6 +292,7 @@ func New(cfg Config) *Server {
 		}
 	}
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/circuits/compile", s.handleCircuits)
 	s.mux.HandleFunc("GET /v1/library/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
 	s.mux.HandleFunc("POST /v1/devices/{name}/calibrate", s.handleCalibrate)
@@ -359,6 +369,11 @@ func (s *Server) worker() {
 		if j.recomp != nil {
 			s.recompileOne(j.roll, j.recomp)
 			j.done <- jobResult{}
+			return
+		}
+		if j.circuit {
+			circ, err := s.compileCircuit(j.prog, j.ns, j.waveforms)
+			j.done <- jobResult{circ: circ, err: err}
 			return
 		}
 		resp, err := s.compile(j.prog, j.ns)
@@ -563,6 +578,41 @@ func (s *Server) compile(prog *circuit.Circuit, ns *devreg.Namespace) (*CompileR
 	// every unique group: a warm key is a store hit; a cold key trains
 	// exactly once across all concurrent requests (singleflight).
 	uniq := grouping.DeduplicateKeyed(gr.Groups, keys)
+	entries := s.resolveGroups(ns, resp, uniq)
+
+	dev := ns.Comp.Options().Device
+	overall, err := latency.OverallGroups(gr, func(i int) (float64, error) {
+		if e, ok := entries[keys[i]]; ok {
+			return e.LatencyNs, nil
+		}
+		return accqoc.GateFallbackNs(gr.Groups[i], dev.Calibration), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	finalizeResponse(resp, prep.Physical, dev, overall, begin)
+	return resp, nil
+}
+
+// finalizeResponse fills the latency/fidelity tail shared by the
+// per-group and circuit responses.
+func finalizeResponse(resp *CompileResponse, phys *circuit.Circuit, dev *topology.Device, overall float64, begin time.Time) {
+	resp.QOCLatencyNs = overall
+	resp.GateLatencyNs = gatepulse.Overall(phys, dev.Calibration)
+	if overall > 0 {
+		resp.LatencyReduction = resp.GateLatencyNs / overall
+	}
+	resp.EstimatedFidelity = crosstalk.ProgramFidelity(phys, dev, overall)
+	resp.CompileMillis = float64(time.Since(begin)) / float64(time.Millisecond)
+}
+
+// resolveGroups is the shared resolution core of the compile and circuit
+// paths: every unique group of a request resolves against the namespace
+// store — a warm key is a hit, a cold key trains exactly once across all
+// concurrent requests (singleflight), MST-ordered with warm-start seeds
+// when the seed index is on. It fills the response's coverage, training
+// and seeding counters and returns the resolved entries by key.
+func (s *Server) resolveGroups(ns *devreg.Namespace, resp *CompileResponse, uniq []*grouping.UniqueGroup) map[string]*precompile.Entry {
 	entries := make(map[string]*precompile.Entry, len(uniq))
 	cfg := ns.Comp.Options().Precompile
 	simFn := ns.SimilarityFn()
@@ -634,29 +684,7 @@ func (s *Server) compile(prog *circuit.Circuit, ns *devreg.Namespace) (*CompileR
 		resp.CoverageRate = 1
 	}
 	resp.WarmServed = resp.UncoveredUnique == 0
-
-	dev := ns.Comp.Options().Device
-	overall, err := latency.OverallGroups(gr, func(i int) (float64, error) {
-		if e, ok := entries[keys[i]]; ok {
-			return e.LatencyNs, nil
-		}
-		var sum float64
-		for _, g := range gr.Groups[i].Gates {
-			sum += gatepulse.GateLatency(g.Name, dev.Calibration)
-		}
-		return sum, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	resp.QOCLatencyNs = overall
-	resp.GateLatencyNs = gatepulse.Overall(prep.Physical, dev.Calibration)
-	if overall > 0 {
-		resp.LatencyReduction = resp.GateLatencyNs / overall
-	}
-	resp.EstimatedFidelity = crosstalk.ProgramFidelity(prep.Physical, dev, overall)
-	resp.CompileMillis = float64(time.Since(begin)) / float64(time.Millisecond)
-	return resp, nil
+	return entries
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -668,35 +696,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 		return
 	}
-	prog, err := s.ingest(req)
-	if err != nil {
-		s.failures.Add(1)
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	ns, err := s.registry.Acquire(req.Device)
-	if err != nil {
-		s.failures.Add(1)
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	// The reference keeps this namespace (and its retiring epoch) alive
-	// until the response is assembled, even if a calibration lands
-	// mid-request.
-	defer ns.Release()
-
-	j := &job{prog: prog, ns: ns, done: make(chan jobResult, 1)}
-	if err := s.enqueue(j); err != nil {
-		s.rejected.Add(1)
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	}
-	// Wait for the worker even if the client goes away: the training is
-	// already paid for and warms the shared library.
-	res := <-j.done
-	if res.err != nil {
-		s.failures.Add(1)
-		writeError(w, http.StatusInternalServerError, res.err)
+	res := s.dispatch(w, req, false, false)
+	if res == nil {
 		return
 	}
 	// Echo the explicit device routing; an empty request field keeps the
@@ -704,6 +705,46 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	res.resp.Device = req.Device
 	s.compileNs.Add(int64(res.resp.CompileMillis * float64(time.Millisecond)))
 	writeJSON(w, http.StatusOK, res.resp)
+}
+
+// dispatch is the shared request lifecycle of the compile endpoints:
+// ingest the program, route the device field to its current-epoch
+// namespace, run one job through the worker pool, and apply the
+// failure/rejection accounting. A nil return means an error response has
+// already been written.
+func (s *Server) dispatch(w http.ResponseWriter, req CompileRequest, circuit, waveforms bool) *jobResult {
+	prog, err := s.ingest(req)
+	if err != nil {
+		s.failures.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return nil
+	}
+	ns, err := s.registry.Acquire(req.Device)
+	if err != nil {
+		s.failures.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return nil
+	}
+	// The reference keeps this namespace (and its retiring epoch) alive
+	// until the response is assembled, even if a calibration lands
+	// mid-request.
+	defer ns.Release()
+
+	j := &job{prog: prog, ns: ns, circuit: circuit, waveforms: waveforms, done: make(chan jobResult, 1)}
+	if err := s.enqueue(j); err != nil {
+		s.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, err)
+		return nil
+	}
+	// Wait for the worker even if the client goes away: the training is
+	// already paid for and warms the shared library.
+	res := <-j.done
+	if res.err != nil {
+		s.failures.Add(1)
+		writeError(w, http.StatusInternalServerError, res.err)
+		return nil
+	}
+	return &res
 }
 
 // ingest turns a request body into a circuit.

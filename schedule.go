@@ -6,9 +6,10 @@ import (
 	"sort"
 
 	"accqoc/internal/circuit"
-	"accqoc/internal/gatepulse"
 	"accqoc/internal/latency"
+	"accqoc/internal/precompile"
 	"accqoc/internal/pulse"
+	"accqoc/internal/topology"
 )
 
 // ScheduledPulse is one group's pulse placed on the program timeline.
@@ -26,6 +27,13 @@ type ScheduledPulse struct {
 	// DurationNs is the group's latency (pulse duration, or the
 	// gate-based fallback price).
 	DurationNs float64
+	// Key is the library reference of the waveform driving this slot (the
+	// group's canonical key); empty for gate-based fallback slots.
+	Key string
+	// Mirrored marks occurrences whose qubit order is the mirror of the
+	// library pulse's canonical orientation. Pulse already has its
+	// per-qubit channels exchanged accordingly.
+	Mirrored bool
 }
 
 // Schedule holds a fully scheduled program.
@@ -39,30 +47,42 @@ type Schedule struct {
 // BuildSchedule compiles a program and lays its group pulses out on the
 // timeline: each group starts when its DAG predecessors finish. This is
 // the artifact a control stack would hand to the waveform generators.
+// Scheduling reuses the per-occurrence keys resolved during compilation —
+// it is pure library lookup, with no unitary recomputation.
 func (c *Compiler) BuildSchedule(prog *circuit.Circuit) (*Schedule, error) {
 	res, err := c.Compile(prog)
 	if err != nil {
 		return nil, err
 	}
+	return AssembleSchedule(res, c.opts.Device.Calibration, func(key string) (*precompile.Entry, bool) {
+		e, ok := c.lib.Entries[key]
+		return e, ok
+	})
+}
+
+// AssembleSchedule lays a resolved compilation out on the timeline — the
+// shared back end of BuildSchedule and the server's circuit endpoint. res
+// must carry the per-occurrence Keys and Swapped flags recorded by the
+// key pass; lookup resolves a canonical key to its trained entry (a miss
+// prices the group gate-based, consistent with Compile). Scheduling is
+// lookup-only: no group unitary is rebuilt and no orientation search is
+// repeated.
+func AssembleSchedule(res *CompileResult, cal topology.Calibration, lookup func(key string) (*precompile.Entry, bool)) (*Schedule, error) {
 	gr := res.Grouping
+	if len(res.Keys) != len(gr.Groups) || len(res.Swapped) != len(gr.Groups) {
+		return nil, fmt.Errorf("accqoc: schedule needs %d occurrence keys, have %d keys / %d flags",
+			len(gr.Groups), len(res.Keys), len(res.Swapped))
+	}
 	durations := make([]float64, len(gr.Groups))
 	pulses := make([]*pulse.Pulse, len(gr.Groups))
-	for i, g := range gr.Groups {
-		u, uerr := g.Unitary()
-		if uerr != nil {
-			return nil, uerr
-		}
-		if p, ok := c.lib.PulseFor(u); ok {
-			pulses[i] = p
-			durations[i] = p.Duration()
+	for i := range gr.Groups {
+		if e, ok := lookup(res.Keys[i]); ok && e != nil {
+			pulses[i] = precompile.OrientPulse(e.Pulse, res.Swapped[i])
+			durations[i] = e.LatencyNs
 			continue
 		}
 		// Gate-based fallback pricing, consistent with Compile.
-		var sum float64
-		for _, inst := range g.Gates {
-			sum += gatepulse.GateLatency(inst.Name, c.opts.Device.Calibration)
-		}
-		durations[i] = sum
+		durations[i] = GateFallbackNs(gr.Groups[i], cal)
 	}
 	starts, overall, err := latency.Schedule(gr, func(i int) (float64, error) {
 		return durations[i], nil
@@ -72,13 +92,18 @@ func (c *Compiler) BuildSchedule(prog *circuit.Circuit) (*Schedule, error) {
 	}
 	sched := &Schedule{Result: res, MakespanNs: overall}
 	for i := range gr.Groups {
-		sched.Pulses = append(sched.Pulses, ScheduledPulse{
+		sp := ScheduledPulse{
 			Group:      i,
 			Qubits:     append([]int(nil), gr.Groups[i].Qubits...),
 			StartNs:    starts[i],
 			Pulse:      pulses[i],
 			DurationNs: durations[i],
-		})
+		}
+		if pulses[i] != nil {
+			sp.Key = res.Keys[i]
+			sp.Mirrored = res.Swapped[i]
+		}
+		sched.Pulses = append(sched.Pulses, sp)
 	}
 	sort.Slice(sched.Pulses, func(a, b int) bool {
 		if sched.Pulses[a].StartNs != sched.Pulses[b].StartNs {

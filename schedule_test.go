@@ -6,6 +6,8 @@ import (
 	"accqoc/internal/circuit"
 	"accqoc/internal/gate"
 	"accqoc/internal/grouping"
+	"accqoc/internal/precompile"
+	"accqoc/internal/pulse"
 	"accqoc/internal/topology"
 )
 
@@ -106,5 +108,125 @@ func TestValidateMakespanTwoSided(t *testing.T) {
 	deflated.MakespanNs = 40 // below the last pulse end
 	if deflated.Validate() == nil {
 		t.Fatal("deflated makespan accepted")
+	}
+}
+
+// TestAssembleScheduleLookupOnly pins the BuildSchedule bugfix: schedule
+// assembly must consume the per-occurrence keys threaded through the
+// CompileResult instead of recomputing each group's unitary and redoing
+// the PulseFor orientation search. The sentinel key is reachable only
+// through the threaded keys — a fresh unitary-based lookup could never
+// produce it — so a regression to recompute-and-look-up fails loudly.
+func TestAssembleScheduleLookupOnly(t *testing.T) {
+	comp := New(fastOptions(topology.Linear(2)))
+	c := circuit.New(2)
+	c.MustAppend(gate.H, []int{0})
+	plan, err := comp.PlanGroups(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Keys) != len(plan.Prepared.Grouping.Groups) {
+		t.Fatalf("plan has %d keys for %d groups", len(plan.Keys), len(plan.Prepared.Grouping.Groups))
+	}
+
+	res := plan.Result()
+	lib := precompile.NewLibrary()
+	sentinel := &precompile.Entry{
+		Key:       "sentinel",
+		NumQubits: 1,
+		Pulse:     pulse.New([]string{"x0", "y0"}, 4, 2),
+		LatencyNs: 123,
+	}
+	lib.Entries["sentinel"] = sentinel
+	for i := range res.Keys {
+		res.Keys[i] = "sentinel"
+	}
+	sched, err := AssembleSchedule(res, comp.Options().Device.Calibration,
+		func(key string) (*precompile.Entry, bool) {
+			e, ok := lib.Entries[key]
+			return e, ok
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range sched.Pulses {
+		if sp.Key != "sentinel" {
+			t.Fatalf("slot resolved %q — scheduling did not use the threaded key", sp.Key)
+		}
+		if sp.DurationNs != 123 {
+			t.Fatalf("slot priced %v, want the sentinel entry's 123", sp.DurationNs)
+		}
+	}
+}
+
+// TestAssembleScheduleMirrored: a mirrored occurrence gets the library
+// pulse with its per-qubit channels exchanged, and the slot says so.
+func TestAssembleScheduleMirrored(t *testing.T) {
+	comp := New(fastOptions(topology.Linear(2)))
+	c := circuit.New(2)
+	c.MustAppend(gate.CX, []int{0, 1})
+	plan, err := comp.PlanGroups(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := plan.Result()
+	// Force the mirrored orientation for every occurrence.
+	for i := range res.Swapped {
+		res.Swapped[i] = true
+	}
+	p := pulse.New([]string{"x0", "y0", "x1", "y1"}, 2, 1)
+	p.Amps[0][0], p.Amps[1][0], p.Amps[2][0], p.Amps[3][0] = 1, 2, 3, 4
+	lib := precompile.NewLibrary()
+	for _, key := range res.Keys {
+		lib.Entries[key] = &precompile.Entry{Key: key, NumQubits: 2, Pulse: p, LatencyNs: 2}
+	}
+	sched, err := AssembleSchedule(res, comp.Options().Device.Calibration,
+		func(key string) (*precompile.Entry, bool) {
+			e, ok := lib.Entries[key]
+			return e, ok
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sched.Pulses[0]
+	if !sp.Mirrored {
+		t.Fatal("mirrored occurrence not flagged")
+	}
+	if sp.Pulse.Amps[0][0] != 3 || sp.Pulse.Amps[2][0] != 1 {
+		t.Fatalf("channels not exchanged: %v", sp.Pulse.Amps)
+	}
+	// The library's canonical pulse is untouched.
+	if p.Amps[0][0] != 1 {
+		t.Fatal("orientation mutated the stored pulse")
+	}
+}
+
+// TestBuildScheduleKeysMatchCompile: the schedule's waveform refs are
+// exactly the keys Compile resolved, and each slot's pulse is the library
+// entry for its key (no re-derivation anywhere).
+func TestBuildScheduleKeysMatchCompile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	comp := New(fastOptions(topology.Linear(3)))
+	sched, err := comp.BuildSchedule(smallProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sched.Result
+	for _, sp := range sched.Pulses {
+		if sp.Pulse == nil {
+			continue
+		}
+		if sp.Key != res.Keys[sp.Group] {
+			t.Fatalf("slot %d carries key %.16q, compile resolved %.16q", sp.Group, sp.Key, res.Keys[sp.Group])
+		}
+		e, ok := comp.Library().Entries[sp.Key]
+		if !ok {
+			t.Fatalf("slot %d references a key missing from the library", sp.Group)
+		}
+		if sp.DurationNs != e.LatencyNs {
+			t.Fatalf("slot %d duration %v != entry latency %v", sp.Group, sp.DurationNs, e.LatencyNs)
+		}
 	}
 }

@@ -15,6 +15,13 @@
 //	accqoc-server -calibration-file cal.json                   # SIGHUP re-reads → new epoch
 //	accqoc-server -pprof localhost:6060   # expose net/http/pprof for live profiling
 //	accqoc-server -seed-index=false       # train cache misses cold (A/B baseline)
+//	accqoc-server -log-format json        # structured JSON logs for pipelines
+//	accqoc-server -observability=false    # no /metrics, /debug/requests, or hooks
+//
+// Observability is on by default: Prometheus text exposition at
+// GET /metrics, the request flight recorder (per-stage compile traces) at
+// GET /debug/requests, and an X-Request-Id header on every response,
+// echoed in request-path log records.
 //
 // Cache misses warm-start by default: uncovered groups are MST-ordered
 // per request and seeded from the similarity index over covered library
@@ -37,7 +44,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -50,8 +57,8 @@ import (
 	"accqoc"
 	"accqoc/internal/devreg"
 	"accqoc/internal/grape"
-	"accqoc/internal/hamiltonian"
 	"accqoc/internal/grouping"
+	"accqoc/internal/hamiltonian"
 	"accqoc/internal/libstore"
 	"accqoc/internal/precompile"
 	"accqoc/internal/server"
@@ -80,15 +87,30 @@ func main() {
 	seedIndex := flag.Bool("seed-index", true,
 		"warm-start cache-miss trainings from the similarity seed index (MST-ordered per request); false trains misses cold")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (empty = disabled)")
+	logFormat := flag.String("log-format", "text", "structured log output: text | json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+	observability := flag.Bool("observability", true,
+		"expose /metrics and /debug/requests and record pipeline metrics/traces; false disables all instrumentation")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "accqoc-server:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	policy, err := grouping.PolicyByName(*policyName)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad -policy", "error", err.Error())
 	}
 	dev, err := parseDevice(*deviceName)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad -device", "error", err.Error())
 	}
 	// Apply the calibration file at boot (if present) so the default
 	// device starts at the physics its last shutdown snapshot was stamped
@@ -102,14 +124,16 @@ func main() {
 		case uerr == nil:
 			p, aerr := upd.Apply(devreg.Profile{Name: *deviceName, Device: dev})
 			if aerr != nil {
-				log.Fatalf("calibration file: %v", aerr)
+				fatal("calibration file rejected", "path", *calibrationFile, "error", aerr.Error())
 			}
 			dev, bootHam = p.Device, p.Ham
-			log.Printf("applied %s at boot (fingerprint %s)", *calibrationFile, p.Fingerprint())
+			logger.Info("applied calibration file at boot",
+				"component", "main", "path", *calibrationFile, "fingerprint", p.Fingerprint())
 		case os.IsNotExist(uerr):
-			log.Printf("no calibration file at %s yet; using flag defaults", *calibrationFile)
+			logger.Info("no calibration file yet; using flag defaults",
+				"component", "main", "path", *calibrationFile)
 		default:
-			log.Fatal(uerr)
+			fatal("calibration file unreadable", "path", *calibrationFile, "error", uerr.Error())
 		}
 	}
 	var extras []devreg.Profile
@@ -123,7 +147,7 @@ func main() {
 			seen[spec] = true
 			d, derr := parseDevice(spec)
 			if derr != nil {
-				log.Fatal(derr)
+				fatal("bad -devices entry", "spec", spec, "error", derr.Error())
 			}
 			extras = append(extras, devreg.Profile{Name: spec, Device: d})
 		}
@@ -135,7 +159,7 @@ func main() {
 	case "json":
 		snapFormat = libstore.FormatJSON
 	default:
-		log.Fatalf("unknown -lib-format %q (want gob or json)", *format)
+		fatal("unknown -lib-format (want gob or json)", "format", *format)
 	}
 
 	storeOpts := libstore.Options{Shards: *shards, Capacity: *capacity}
@@ -162,16 +186,18 @@ func main() {
 				Grape: grape.Options{TargetInfidelity: *fidelity, MaxIterations: *maxIter, Parallel: segWorkers},
 			},
 		},
-		Store:             libstore.New(storeOpts),
-		StoreOptions:      storeOpts,
-		DeviceName:        *deviceName,
-		Devices:           extras,
-		BootSnapshot:      *libPath,
-		BootSnapshotForce: *libForce,
-		Workers:           *workers,
-		QueueDepth:        *queue,
-		MaxGates:          *maxGates,
-		DisableSeedIndex:  !*seedIndex,
+		Store:                libstore.New(storeOpts),
+		StoreOptions:         storeOpts,
+		DeviceName:           *deviceName,
+		Devices:              extras,
+		BootSnapshot:         *libPath,
+		BootSnapshotForce:    *libForce,
+		Workers:              *workers,
+		QueueDepth:           *queue,
+		MaxGates:             *maxGates,
+		DisableSeedIndex:     !*seedIndex,
+		DisableObservability: !*observability,
+		Logger:               logger,
 	})
 
 	if *pprofAddr != "" {
@@ -182,9 +208,9 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			log.Printf("pprof listening on %s", *pprofAddr)
+			logger.Info("pprof listening", "component", "main", "addr", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, mux); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("pprof server: %v", err)
+				logger.Error("pprof server failed", "component", "main", "error", err.Error())
 			}
 		}()
 	}
@@ -202,11 +228,14 @@ func main() {
 				if done {
 					switch {
 					case berr != nil:
-						log.Printf("boot snapshot: %v (serving cold; /healthz reports error)", berr)
+						logger.Error("boot snapshot failed; serving cold (/healthz reports error)",
+							"component", "main", "path", *libPath, "error", berr.Error())
 					case n > 0:
-						log.Printf("loaded %d library pulses from %s", n, *libPath)
+						logger.Info("boot snapshot loaded",
+							"component", "main", "path", *libPath, "entries", n)
 					default:
-						log.Printf("no snapshot at %s yet; starting cold", *libPath)
+						logger.Info("no snapshot yet; starting cold",
+							"component", "main", "path", *libPath)
 					}
 					return
 				}
@@ -227,25 +256,31 @@ func main() {
 		// failed: a fingerprint-rejected library would be overwritten by
 		// an empty store on the first shutdown.
 		if done, _, berr := srv.BootStatus(); berr != nil {
-			log.Printf("snapshot save (%s): refusing to overwrite %s — boot load failed (%v); fix the config or pass -lib-force", reason, *libPath, berr)
+			logger.Error("snapshot save refused: boot load failed; fix the config or pass -lib-force",
+				"component", "main", "reason", reason, "path", *libPath, "error", berr.Error())
 			return
 		} else if !done {
-			log.Printf("snapshot save (%s): boot load still in progress; skipping", reason)
+			logger.Warn("snapshot save skipped: boot load still in progress",
+				"component", "main", "reason", reason, "path", *libPath)
 			return
 		}
 		ns, nerr := srv.Registry().Current("")
 		if nerr != nil {
-			log.Printf("snapshot save (%s): %v", reason, nerr)
+			logger.Error("snapshot save failed",
+				"component", "main", "reason", reason, "error", nerr.Error())
 			return
 		}
 		// Stamp the snapshot with the current epoch's fingerprint so a
 		// later boot under different physics is rejected, not silently
 		// served.
 		if err := ns.Store.SaveSnapshotFingerprint(*libPath, snapFormat, ns.Profile.Fingerprint()); err != nil {
-			log.Printf("snapshot save (%s): %v", reason, err)
+			logger.Error("snapshot save failed",
+				"component", "main", "reason", reason, "path", *libPath, "error", err.Error())
 			return
 		}
-		log.Printf("saved %d library pulses to %s (%s, epoch %d)", ns.Store.Len(), *libPath, reason, ns.Epoch)
+		logger.Info("snapshot saved",
+			"component", "main", "reason", reason, "path", *libPath,
+			"entries", ns.Store.Len(), "device", ns.DeviceName, "epoch", ns.Epoch)
 	}
 
 	if *snapshotEvery > 0 && *libPath != "" {
@@ -275,16 +310,18 @@ func main() {
 				case <-hup:
 					upd, uerr := readCalibrationFile(*calibrationFile)
 					if uerr != nil {
-						log.Printf("calibration reload: %v", uerr)
+						logger.Error("calibration reload failed",
+							"component", "main", "path", *calibrationFile, "error", uerr.Error())
 						continue
 					}
 					epoch, planned, cerr := srv.CalibrateDefault(upd)
 					if cerr != nil {
-						log.Printf("calibration reload: %v", cerr)
+						logger.Error("calibration reload rejected",
+							"component", "main", "device", *deviceName, "error", cerr.Error())
 						continue
 					}
-					log.Printf("calibration reload: %s now at epoch %d, %d groups queued for warm recompilation",
-						*deviceName, epoch, planned)
+					logger.Info("calibration reload: new epoch open, warm recompilation queued",
+						"component", "main", "device", *deviceName, "epoch", epoch, "planned", planned)
 				case <-ctx.Done():
 					return
 				}
@@ -293,22 +330,44 @@ func main() {
 	}
 
 	go func() {
-		log.Printf("accqoc-server listening on %s (device %s + %d extra, policy %s, %d shards, seed index %v)",
-			*addr, dev.Name, len(extras), policy.Name, *shards, *seedIndex)
+		logger.Info("accqoc-server listening",
+			"component", "main", "addr", *addr, "device", dev.Name,
+			"extra_devices", len(extras), "policy", policy.Name,
+			"shards", *shards, "seed_index", *seedIndex, "observability", *observability)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			fatal("listen failed", "addr", *addr, "error", err.Error())
 		}
 	}()
 
 	<-ctx.Done()
-	log.Print("shutting down")
+	logger.Info("shutting down", "component", "main")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown failed", "component", "main", "error", err.Error())
 	}
 	srv.Close()
 	save("shutdown")
+}
+
+// newLogger builds the process logger from the -log-format/-log-level
+// flags: human-readable text (default) or one JSON object per line for
+// log pipelines. The same logger is handed to the server, so request-path
+// records carry component/device/epoch/request-id fields uniformly.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
 }
 
 // readCalibrationFile parses a JSON devreg.CalibrationUpdate.

@@ -84,14 +84,103 @@ func assignDevices(mix []deviceWeight, n int) []string {
 	return out
 }
 
+// percentile returns the p-th percentile (0..100) of an ascending-sorted
+// latency slice, interpolating linearly between the two closest ranks so
+// small samples don't snap to min/max the way nearest-rank does.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo] + time.Duration(frac*float64(sorted[lo+1]-sorted[lo]))
+}
+
+// deviceSummary is one per-device row of the -json report.
+type deviceSummary struct {
+	Device    string  `json:"device"`
+	Requests  int     `json:"requests"`
+	Failed    int     `json:"failed,omitempty"`
+	MedianMs  float64 `json:"median_ms,omitempty"`
+	WarmHits  int     `json:"warm_served"`
+	Seeded    int     `json:"warm_seeded_trainings"`
+	GrapeIter int     `json:"grape_iterations"`
+}
+
+// clientSummary is the machine-readable loadgen report emitted by -json,
+// replacing hand-rolled BENCH_*.json capture.
+type clientSummary struct {
+	Endpoint    string `json:"endpoint"`
+	Requests    int    `json:"requests"`
+	Concurrency int    `json:"concurrency"`
+
+	ColdWallMs    float64 `json:"cold_wall_ms"`
+	ColdCompileMs float64 `json:"cold_compile_ms"`
+	ColdCoverage  float64 `json:"cold_coverage"`
+	GroupsTrained int     `json:"groups_trained"`
+
+	// Circuit-mode schedule view (zero unless -circuits).
+	Slots            int     `json:"slots,omitempty"`
+	MakespanNs       float64 `json:"makespan_ns,omitempty"`
+	GateLatencyNs    float64 `json:"gate_latency_ns,omitempty"`
+	LatencyReduction float64 `json:"latency_reduction,omitempty"`
+
+	WarmRequests  int     `json:"warm_requests"`
+	WarmFailed    int     `json:"warm_failed"`
+	WarmServed    int     `json:"warm_served"`
+	WarmElapsedMs float64 `json:"warm_elapsed_ms"`
+	WarmP50Ms     float64 `json:"warm_p50_ms"`
+	WarmP95Ms     float64 `json:"warm_p95_ms"`
+	WarmP99Ms     float64 `json:"warm_p99_ms"`
+	WarmMeanCov   float64 `json:"warm_mean_coverage,omitempty"`
+	Speedup       float64 `json:"cold_warm_speedup,omitempty"`
+
+	Devices []deviceSummary   `json:"devices,omitempty"`
+	Library libstoreStatsWire `json:"library"`
+	Server  serverStatsWire   `json:"server"`
+}
+
+// libstoreStatsWire / serverStatsWire mirror the fields of
+// /v1/library/stats the text report already prints.
+type libstoreStatsWire struct {
+	Entries         int64 `json:"entries"`
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	Trainings       int64 `json:"trainings"`
+	DedupSuppressed int64 `json:"deduped"`
+	Evictions       int64 `json:"evictions"`
+}
+
+type serverStatsWire struct {
+	Requests           int64   `json:"requests"`
+	Failures           int64   `json:"failures"`
+	Rejected           int64   `json:"rejected"`
+	TotalCompileMillis float64 `json:"total_compile_ms"`
+	UptimeSeconds      float64 `json:"uptime_seconds"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
 // runClient drives a running accqoc-server: it sends the same compile
 // request n times with the given concurrency — optionally spread across a
 // weighted multi-device mix — and reports how request latency collapses
 // once the pulse libraries are warm, with a per-device breakdown, then
 // prints the server's /v1/library/stats. With circuits set it exercises
 // the whole-program endpoint (POST /v1/circuits/compile) instead, adding
-// the scheduled-pulse-program view: makespan, slot count, coverage.
-func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency int, circuits bool) error {
+// the scheduled-pulse-program view: makespan, slot count, coverage. With
+// jsonOut set the human-readable report is replaced by one clientSummary
+// JSON document on stdout.
+func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency int, circuits, jsonOut bool) error {
 	var req server.CompileRequest
 	switch {
 	case inPath != "" && workloadSpec != "":
@@ -199,12 +288,29 @@ func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency i
 	loadElapsed := time.Since(loadStart)
 
 	cold := samples[0]
-	fmt.Printf("cold request: %v wall, %.1f ms compile, coverage %.0f%%, %d groups trained\n",
-		cold.wall.Round(time.Millisecond), cold.resp.CompileMillis,
-		100*cold.resp.CoverageRate, cold.resp.UncoveredUnique)
+	sum := clientSummary{
+		Endpoint:      endpoint,
+		Requests:      n,
+		Concurrency:   concurrency,
+		ColdWallMs:    ms(cold.wall),
+		ColdCompileMs: cold.resp.CompileMillis,
+		ColdCoverage:  cold.resp.CoverageRate,
+		GroupsTrained: cold.resp.UncoveredUnique,
+	}
 	if circuits {
-		fmt.Printf("scheduled program: %d slots, makespan %.0f ns vs %.0f ns gate-based (%.2fx)\n",
-			cold.slots, cold.makespan, cold.resp.GateLatencyNs, cold.resp.LatencyReduction)
+		sum.Slots = cold.slots
+		sum.MakespanNs = cold.makespan
+		sum.GateLatencyNs = cold.resp.GateLatencyNs
+		sum.LatencyReduction = cold.resp.LatencyReduction
+	}
+	if !jsonOut {
+		fmt.Printf("cold request: %v wall, %.1f ms compile, coverage %.0f%%, %d groups trained\n",
+			cold.wall.Round(time.Millisecond), cold.resp.CompileMillis,
+			100*cold.resp.CoverageRate, cold.resp.UncoveredUnique)
+		if circuits {
+			fmt.Printf("scheduled program: %d slots, makespan %.0f ns vs %.0f ns gate-based (%.2fx)\n",
+				cold.slots, cold.makespan, cold.resp.GateLatencyNs, cold.resp.LatencyReduction)
+		}
 	}
 
 	var warm []time.Duration
@@ -222,26 +328,41 @@ func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency i
 			warmServed++
 		}
 	}
+	sum.WarmRequests = len(warm) + failed
+	sum.WarmFailed = failed
+	sum.WarmServed = warmServed
+	sum.WarmElapsedMs = ms(loadElapsed)
 	if len(warm) > 0 {
 		sort.Slice(warm, func(i, j int) bool { return warm[i] < warm[j] })
-		median := warm[len(warm)/2]
-		fmt.Printf("warm requests: %d sent with concurrency %d in %v (%d warm-served, %d failed)\n",
-			len(warm)+failed, concurrency, loadElapsed.Round(time.Millisecond), warmServed, failed)
-		fmt.Printf("warm latency: median %v, p0 %v, p100 %v\n",
-			median.Round(time.Microsecond), warm[0].Round(time.Microsecond), warm[len(warm)-1].Round(time.Microsecond))
-		if median > 0 {
-			fmt.Printf("cold/warm speedup: %.1fx\n", float64(cold.wall)/float64(median))
+		p50 := percentile(warm, 50)
+		p95 := percentile(warm, 95)
+		p99 := percentile(warm, 99)
+		sum.WarmP50Ms, sum.WarmP95Ms, sum.WarmP99Ms = ms(p50), ms(p95), ms(p99)
+		sum.WarmMeanCov = covSum / float64(len(warm))
+		if p50 > 0 {
+			sum.Speedup = float64(cold.wall) / float64(p50)
 		}
-		if circuits {
-			fmt.Printf("coverage: cold %.0f%%, warm mean %.0f%% (%d of %d fully covered)\n",
-				100*cold.resp.CoverageRate, 100*covSum/float64(len(warm)), warmServed, len(warm))
+		if !jsonOut {
+			fmt.Printf("warm requests: %d sent with concurrency %d in %v (%d warm-served, %d failed)\n",
+				len(warm)+failed, concurrency, loadElapsed.Round(time.Millisecond), warmServed, failed)
+			fmt.Printf("warm latency: p50 %v, p95 %v, p99 %v\n",
+				p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond))
+			if p50 > 0 {
+				fmt.Printf("cold/warm speedup: %.1fx\n", sum.Speedup)
+			}
+			if circuits {
+				fmt.Printf("coverage: cold %.0f%%, warm mean %.0f%% (%d of %d fully covered)\n",
+					100*cold.resp.CoverageRate, 100*covSum/float64(len(warm)), warmServed, len(warm))
+			}
 		}
 	}
 
 	// Per-device breakdown: traffic share, latency, warm-serving and
 	// warm-seeding per registered device of the mix.
 	if len(mix) > 0 {
-		fmt.Println("per-device breakdown:")
+		if !jsonOut {
+			fmt.Println("per-device breakdown:")
+		}
 		for _, m := range mix {
 			var walls []time.Duration
 			sent, devFailed, devWarm, devSeeded, iters := 0, 0, 0, 0, 0
@@ -261,23 +382,55 @@ func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency i
 				devSeeded += s.resp.WarmSeeded
 				iters += s.resp.TrainingIterations
 			}
-			line := fmt.Sprintf("  %-12s %3d requests", m.name, sent)
+			ds := deviceSummary{
+				Device: m.name, Requests: sent, Failed: devFailed,
+				WarmHits: devWarm, Seeded: devSeeded, GrapeIter: iters,
+			}
+			var devMedian time.Duration
 			if len(walls) > 0 {
 				sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
-				line += fmt.Sprintf(", median %v", walls[len(walls)/2].Round(time.Microsecond))
+				devMedian = percentile(walls, 50)
+				ds.MedianMs = ms(devMedian)
 			}
-			line += fmt.Sprintf(", %d warm-served, %d warm-seeded trainings, %d GRAPE iters",
-				devWarm, devSeeded, iters)
-			if devFailed > 0 {
-				line += fmt.Sprintf(", %d FAILED", devFailed)
+			sum.Devices = append(sum.Devices, ds)
+			if !jsonOut {
+				line := fmt.Sprintf("  %-12s %3d requests", m.name, sent)
+				if len(walls) > 0 {
+					line += fmt.Sprintf(", median %v", devMedian.Round(time.Microsecond))
+				}
+				line += fmt.Sprintf(", %d warm-served, %d warm-seeded trainings, %d GRAPE iters",
+					devWarm, devSeeded, iters)
+				if devFailed > 0 {
+					line += fmt.Sprintf(", %d FAILED", devFailed)
+				}
+				fmt.Println(line)
 			}
-			fmt.Println(line)
 		}
 	}
 
 	stats, err := fetchStats(baseURL)
 	if err != nil {
 		return err
+	}
+	sum.Library = libstoreStatsWire{
+		Entries:         int64(stats.Library.Entries),
+		Hits:            stats.Library.Hits,
+		Misses:          stats.Library.Misses,
+		Trainings:       stats.Library.Trainings,
+		DedupSuppressed: stats.Library.DedupSuppressed,
+		Evictions:       stats.Library.Evictions,
+	}
+	sum.Server = serverStatsWire{
+		Requests:           stats.Server.Requests,
+		Failures:           stats.Server.Failures,
+		Rejected:           stats.Server.Rejected,
+		TotalCompileMillis: stats.Server.TotalCompileMillis,
+		UptimeSeconds:      stats.Server.UptimeSeconds,
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sum)
 	}
 	fmt.Printf("library: %d entries, %d hits, %d misses, %d trainings, %d deduped, %d evictions\n",
 		stats.Library.Entries, stats.Library.Hits, stats.Library.Misses,

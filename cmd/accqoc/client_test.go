@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"testing"
+	"time"
 )
 
 func TestParseDeviceMix(t *testing.T) {
@@ -28,6 +30,73 @@ func TestParseDeviceMix(t *testing.T) {
 	for _, bad := range []string{":0.5", "dev:0", "dev:-1", "dev:x", ","} {
 		if _, err := parseDeviceMix(bad); err == nil {
 			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("empty slice: %v", got)
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := percentile(one, p); got != 7*time.Millisecond {
+			t.Fatalf("single sample p%g = %v", p, got)
+		}
+	}
+	// 1..100 ms: the p-th percentile interpolates to (1 + 0.99p) ms.
+	var ladder []time.Duration
+	for i := 1; i <= 100; i++ {
+		ladder = append(ladder, time.Duration(i)*time.Millisecond)
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{50, 50*time.Millisecond + 500*time.Microsecond},
+		{95, 95*time.Millisecond + 50*time.Microsecond},
+		{99, 99*time.Millisecond + 10*time.Microsecond},
+		{100, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		got := percentile(ladder, c.p)
+		if diff := got - c.want; diff < -time.Microsecond || diff > time.Microsecond {
+			t.Errorf("p%g = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// p50/p95/p99 must not collapse to min/max (the bug this replaced:
+	// printing p0/p100 as if they were tail percentiles).
+	if percentile(ladder, 95) == ladder[len(ladder)-1] {
+		t.Error("p95 equals max")
+	}
+	if percentile(ladder, 50) == ladder[0] {
+		t.Error("p50 equals min")
+	}
+}
+
+func TestClientSummaryJSONShape(t *testing.T) {
+	// The -json report is what BENCH_*.json capture scripts parse: pin the
+	// field names so a rename is a conscious break.
+	raw, err := json.Marshal(clientSummary{
+		Devices: []deviceSummary{{Device: "melbourne"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"endpoint", "requests", "concurrency",
+		"cold_wall_ms", "cold_compile_ms", "cold_coverage", "groups_trained",
+		"warm_requests", "warm_failed", "warm_served", "warm_elapsed_ms",
+		"warm_p50_ms", "warm_p95_ms", "warm_p99_ms",
+		"devices", "library", "server",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("summary JSON missing %q", key)
 		}
 	}
 }

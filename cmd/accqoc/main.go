@@ -50,10 +50,12 @@ func main() {
 		"weighted multi-device traffic mix for -server mode, e.g. melbourne:0.7,linear5:0.3 (empty = default device)")
 	circuits := flag.Bool("circuits", false,
 		"loadgen against POST /v1/circuits/compile: whole-program scheduled pulse programs instead of per-group compiles")
+	jsonOut := flag.Bool("json", false,
+		"-server mode: emit one machine-readable JSON summary on stdout instead of the text report")
 	flag.Parse()
 
 	if *serverURL != "" {
-		if err := runClient(*serverURL, *in, *workloadSpec, *deviceMix, *requests, *concurrency, *circuits); err != nil {
+		if err := runClient(*serverURL, *in, *workloadSpec, *deviceMix, *requests, *concurrency, *circuits, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"accqoc"
 	"accqoc/internal/circuit"
@@ -79,6 +80,11 @@ type Config struct {
 	// recompilation plan (the index is where each entry's training target
 	// is cached) — misses simply train cold in the new epoch.
 	DisableSeedIndex bool
+	// SeedObserver, when set, is installed on every namespace's seed index
+	// (seedindex.Index.SetObserver): it sees each nearest-seed lookup's
+	// candidate distance and admission verdict — the observability tap for
+	// the fleet-wide seed-distance histogram.
+	SeedObserver func(distance float64, admitted bool)
 }
 
 // Namespace is one (device, epoch) serving context. Fields are immutable
@@ -96,6 +102,9 @@ type Namespace struct {
 	// Seeds is the epoch's warm-start index, nil when disabled. During a
 	// roll its parent link points at the previous epoch's index.
 	Seeds *seedindex.Index
+	// CreatedAt is when the namespace (the calibration epoch) opened —
+	// the anchor for epoch-age gauges.
+	CreatedAt time.Time
 
 	dev      *deviceState
 	refs     atomic.Int64
@@ -176,6 +185,10 @@ type DeviceStatus struct {
 	Epoch       int    `json:"epoch"`
 	Entries     int    `json:"entries"`
 	Fingerprint string `json:"fingerprint"`
+	// EpochAgeSeconds is the time since the current epoch's namespace
+	// opened — a long age on a frequently recalibrated device means the
+	// calibration feed has gone quiet.
+	EpochAgeSeconds float64 `json:"epoch_age_seconds"`
 	// Draining reports a previous epoch still alive under in-flight
 	// references, and DrainingRefs its reference count.
 	Draining     bool           `json:"draining,omitempty"`
@@ -306,11 +319,15 @@ func (r *Registry) newNamespace(d *deviceState, p Profile, epoch int, parent *se
 		Profile:    p,
 		Comp:       accqoc.New(opts),
 		Store:      store,
+		CreatedAt:  time.Now(),
 		dev:        d,
 	}
 	if !r.cfg.DisableSeedIndex {
 		seeds := seedindex.New(ns.SimilarityFn(), p.Ham)
 		seeds.SetParent(parent)
+		if r.cfg.SeedObserver != nil {
+			seeds.SetObserver(r.cfg.SeedObserver)
+		}
 		// Hook first, backfill second: entries racing in between are
 		// indexed twice (idempotent), never missed.
 		store.SetHook(seeds)
@@ -362,12 +379,13 @@ func (r *Registry) Status() []DeviceStatus {
 		d.mu.Lock()
 		ns := d.current
 		st := DeviceStatus{
-			Name:        d.name,
-			Topology:    ns.Profile.Device.Name,
-			Qubits:      ns.Profile.Device.NumQubits,
-			Epoch:       ns.Epoch,
-			Fingerprint: ns.Profile.Fingerprint(),
-			Recompile:   d.roll,
+			Name:            d.name,
+			Topology:        ns.Profile.Device.Name,
+			Qubits:          ns.Profile.Device.NumQubits,
+			Epoch:           ns.Epoch,
+			Fingerprint:     ns.Profile.Fingerprint(),
+			EpochAgeSeconds: time.Since(ns.CreatedAt).Seconds(),
+			Recompile:       d.roll,
 		}
 		if d.draining != nil {
 			st.Draining = true

@@ -5,6 +5,7 @@ import (
 
 	"accqoc/internal/gate"
 	"accqoc/internal/hamiltonian"
+	"accqoc/internal/obs"
 )
 
 // End-to-end compilation benches: the serving-path unit of work behind
@@ -29,16 +30,41 @@ func benchCompile(b *testing.B, sys *hamiltonian.System, g gate.Name, duration f
 	}
 }
 
+// obsHook reproduces the server's per-iteration instrumentation (a counter
+// increment plus a histogram observation per accepted optimizer iteration)
+// so the observed bench variants price exactly what production pays.
+func obsHook() func(infidelity, stepNorm float64) {
+	r := obs.NewRegistry()
+	iters := r.Counter("bench_iterations_total", "bench")
+	norm := r.Histogram("bench_step_norm", "bench", obs.ExponentialBuckets(1e-6, 10, 10))
+	return func(infidelity, stepNorm float64) {
+		iters.Inc()
+		norm.Observe(stepNorm)
+	}
+}
+
 func BenchmarkCompile1Q(b *testing.B) {
 	sys := hamiltonian.OneQubit(hamiltonian.Config{})
 	benchCompile(b, sys, gate.H, 50,
 		Options{Segments: 12, TargetInfidelity: 1e-4, Seed: 3, Restarts: -1})
 }
 
+func BenchmarkCompile1QObserved(b *testing.B) {
+	sys := hamiltonian.OneQubit(hamiltonian.Config{})
+	benchCompile(b, sys, gate.H, 50,
+		Options{Segments: 12, TargetInfidelity: 1e-4, Seed: 3, Restarts: -1, IterationHook: obsHook()})
+}
+
 func BenchmarkCompile2Q(b *testing.B) {
 	sys := hamiltonian.TwoQubit(hamiltonian.Config{})
 	benchCompile(b, sys, gate.CX, 500,
 		Options{Segments: 32, TargetInfidelity: 1e-3, Seed: 5, MaxIterations: 400, Restarts: -1})
+}
+
+func BenchmarkCompile2QObserved(b *testing.B) {
+	sys := hamiltonian.TwoQubit(hamiltonian.Config{})
+	benchCompile(b, sys, gate.CX, 500,
+		Options{Segments: 32, TargetInfidelity: 1e-3, Seed: 5, MaxIterations: 400, Restarts: -1, IterationHook: obsHook()})
 }
 
 // Single-call benches isolate the objective's hot loop from the optimizer.

@@ -61,6 +61,13 @@ type Options struct {
 	// ParallelBuild, the serving worker pool) set this to avoid
 	// oversubscription. Results are bit-identical for every setting.
 	Parallel int
+	// IterationHook, when set, observes every accepted optimizer iteration
+	// across all restart attempts: the current infidelity (cost) and the
+	// step norm ‖Δx‖₂. Observability taps it to feed convergence
+	// histograms; it must be fast, allocation-free, and must not retain
+	// references. Nil costs one pointer check per iteration and leaves
+	// results bit-identical.
+	IterationHook func(infidelity, stepNorm float64)
 }
 
 func (o Options) withDefaults() Options {
@@ -141,12 +148,17 @@ func Compile(sys *hamiltonian.System, target *cmat.Matrix, duration float64, opt
 			// throwaway objective per attempt.
 			x0 = obj.randomInit(opts.Seed + int64(attempt)*7919)
 		}
-		res, err := optimize.Minimize(opts.Method, obj, x0, optimize.Options{
+		oopts := optimize.Options{
 			MaxIterations: opts.MaxIterations,
 			TargetCost:    opts.TargetInfidelity,
 			GradTol:       1e-12,
 			TimeBudget:    opts.TimeBudget,
-		})
+		}
+		if opts.IterationHook != nil {
+			hook := opts.IterationHook
+			oopts.IterHook = func(_ int, cost, stepNorm float64) { hook(cost, stepNorm) }
+		}
+		res, err := optimize.Minimize(opts.Method, obj, x0, oopts)
 		if err != nil {
 			return nil, err
 		}

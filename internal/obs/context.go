@@ -1,0 +1,37 @@
+package obs
+
+import "context"
+
+// Context threading: the server middleware attaches the request ID and
+// trace to the request context; pipeline code deep in the worker pool
+// retrieves them without new plumbing through every signature.
+
+type ctxKey int
+
+const (
+	ridKey ctxKey = iota
+	traceKey
+)
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey, id)
+}
+
+// RequestIDFrom returns the request ID attached to ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey).(string)
+	return id
+}
+
+// WithTrace returns a context carrying the request trace.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFrom returns the trace attached to ctx; nil (a valid no-op trace
+// target) when absent.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}

@@ -75,6 +75,9 @@ func MinimizeBFGS(obj Objective, x0 []float64, opts Options) *Result {
 		} else {
 			resetH()
 		}
+		if opts.IterHook != nil {
+			opts.IterHook(iter, newCost, norm2(s))
+		}
 		copy(x, xNew)
 		copy(grad, gradNew)
 		cost = newCost
@@ -181,6 +184,9 @@ func MinimizeLBFGS(obj Objective, x0 []float64, opts Options) *Result {
 		for i := 0; i < n; i++ {
 			s[i] = xNew[i] - x[i]
 			y[i] = gradNew[i] - grad[i]
+		}
+		if opts.IterHook != nil {
+			opts.IterHook(iter, newCost, norm2(s))
 		}
 		if sy := dot(s, y); sy > 1e-12*norm2(s)*norm2(y) {
 			sHist = append(sHist, s)

@@ -39,6 +39,12 @@ type Options struct {
 	TimeBudget    time.Duration // wall-clock cap (default: none). Mirrors the paper's 600 s budget knob.
 	LearningRate  float64       // GD/ADAM step size (default 0.1)
 	Memory        int           // L-BFGS history (default 10)
+	// IterHook, when set, is called after every accepted iteration with
+	// the iteration index, the new cost, and the step norm ‖x_{k+1}−x_k‖.
+	// It must be fast and must not retain its arguments; a nil hook costs
+	// a single pointer check per iteration (the step norm is only
+	// computed when a hook is installed).
+	IterHook func(iter int, cost, stepNorm float64)
 }
 
 func (o Options) withDefaults() Options {
@@ -154,6 +160,10 @@ func GradientDescent(obj Objective, x0 []float64, opts Options) *Result {
 		if trialCost >= cost {
 			return &Result{X: x, Cost: cost, Iterations: iter, FuncEvals: st.evals, Reason: "no descent step found"}
 		}
+		if opts.IterHook != nil {
+			// trial − x = −step·grad, so the step norm is step·‖grad‖₂.
+			opts.IterHook(iter, trialCost, step*norm2(grad))
+		}
 		copy(x, trial)
 		cost = obj.Gradient(x, grad)
 		st.evals++
@@ -186,15 +196,23 @@ func Adam(obj Objective, x0 []float64, opts Options) *Result {
 			return &Result{X: x, Cost: cost, Iterations: iter, FuncEvals: st.evals, Reason: "time budget exhausted"}
 		}
 		t := float64(iter + 1)
+		var stepSq float64
 		for i := 0; i < n; i++ {
 			m[i] = beta1*m[i] + (1-beta1)*grad[i]
 			v[i] = beta2*v[i] + (1-beta2)*grad[i]*grad[i]
 			mh := m[i] / (1 - math.Pow(beta1, t))
 			vh := v[i] / (1 - math.Pow(beta2, t))
-			x[i] -= opts.LearningRate * mh / (math.Sqrt(vh) + eps)
+			d := opts.LearningRate * mh / (math.Sqrt(vh) + eps)
+			x[i] -= d
+			if opts.IterHook != nil {
+				stepSq += d * d
+			}
 		}
 		cost = obj.Gradient(x, grad)
 		st.evals++
+		if opts.IterHook != nil {
+			opts.IterHook(iter, cost, math.Sqrt(stepSq))
+		}
 	}
 	return &Result{X: x, Cost: cost, Iterations: opts.MaxIterations, FuncEvals: st.evals, Reason: "iteration cap"}
 }

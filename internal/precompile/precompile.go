@@ -42,6 +42,13 @@ type Config struct {
 	// the model's speed limits.
 	Search1Q grape.SearchOptions
 	Search2Q grape.SearchOptions
+	// Observer, when set, is notified once per successful training
+	// (TrainGroup / RetrainEntry) with the group size, summed optimizer
+	// iterations, final infidelity, and whether the run was warm-started.
+	// Observability taps it for per-size iteration and infidelity
+	// histograms; it must be cheap and must not retain references. Nil
+	// costs one pointer check per training.
+	Observer func(numQubits, iterations int, infidelity float64, seeded bool)
 }
 
 func (c Config) withDefaults() Config {

@@ -41,6 +41,9 @@ func TrainGroup(g *grouping.UniqueGroup, cfg Config, seed *Entry) (*Entry, error
 	if err != nil {
 		return nil, fmt.Errorf("precompile: group %s unreachable in bracket: %w", g.Key, err)
 	}
+	if cfg.Observer != nil {
+		cfg.Observer(g.NumQubits, res.TotalIterations, res.Infidelity, seedPulse != nil)
+	}
 	return &Entry{
 		Key:        g.Key,
 		NumQubits:  g.NumQubits,
@@ -75,6 +78,9 @@ func RetrainEntry(e *Entry, u *cmat.Matrix, cfg Config) (*Entry, error) {
 	res, err := grape.CompileBinarySearch(sys, u, gopts, sopts, e.Pulse)
 	if err != nil {
 		return nil, fmt.Errorf("precompile: retrain %s unreachable in bracket: %w", e.Key, err)
+	}
+	if cfg.Observer != nil {
+		cfg.Observer(e.NumQubits, res.TotalIterations, res.Infidelity, e.Pulse != nil)
 	}
 	return &Entry{
 		Key:        e.Key,

@@ -85,6 +85,11 @@ type Index struct {
 	// slightly drifted Hamiltonian. Cleared when the old epoch retires.
 	parent atomic.Pointer[Index]
 
+	// observer, when installed via SetObserver, sees every Nearest outcome
+	// (candidate distance + admission verdict) — the observability tap for
+	// the seed-distance histogram.
+	observer atomic.Pointer[func(distance float64, admitted bool)]
+
 	lookups, seeded, propagations atomic.Int64
 }
 
@@ -286,10 +291,28 @@ func (x *Index) Nearest(u *cmat.Matrix, numQubits int) (Seed, bool) {
 	x.lookups.Add(1)
 	best, bestDist := x.scanBest(u, numQubits)
 	if best == nil || bestDist > similarity.WarmThreshold(x.fn, u.Rows) {
+		if obs := x.observer.Load(); obs != nil && best != nil {
+			(*obs)(bestDist, false)
+		}
 		return Seed{}, false
 	}
 	x.seeded.Add(1)
+	if obs := x.observer.Load(); obs != nil {
+		(*obs)(bestDist, true)
+	}
 	return Seed{Key: best.key, Pulse: best.pulse, LatencyNs: best.latencyNs, Distance: bestDist}, true
+}
+
+// SetObserver installs a callback seeing every Nearest outcome that found
+// a candidate: its similarity distance and whether the admission
+// threshold accepted it. Nil clears it. The callback must be fast and
+// allocation-free (it runs on the request path).
+func (x *Index) SetObserver(fn func(distance float64, admitted bool)) {
+	if fn == nil {
+		x.observer.Store(nil)
+		return
+	}
+	x.observer.Store(&fn)
 }
 
 // Len returns the indexed entry count.

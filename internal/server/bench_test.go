@@ -40,10 +40,10 @@ func benchServe(b *testing.B, progA, progB string, disable bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := New(Config{Compile: fastOpts(), Workers: 1, DisableSeedIndex: disable})
-		if _, err := s.compile(pa, s.defaultNS()); err != nil {
+		if _, err := s.compile(pa, s.defaultNS(), nil); err != nil {
 			b.Fatal(err)
 		}
-		resp, err := s.compile(pb, s.defaultNS())
+		resp, err := s.compile(pb, s.defaultNS(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,7 +91,7 @@ func benchEpochRoll(b *testing.B, warm bool) {
 	for i := 0; i < b.N; i++ {
 		s := New(Config{Compile: opts, Workers: 1})
 		for _, prog := range []*circuit.Circuit{pa, pc} {
-			if _, err := s.compile(prog, s.defaultNS()); err != nil {
+			if _, err := s.compile(prog, s.defaultNS(), nil); err != nil {
 				b.Fatal(err)
 			}
 		}

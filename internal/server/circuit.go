@@ -11,6 +11,7 @@ import (
 	"accqoc"
 	"accqoc/internal/circuit"
 	"accqoc/internal/devreg"
+	"accqoc/internal/obs"
 	"accqoc/internal/precompile"
 	"accqoc/internal/pulse"
 )
@@ -92,12 +93,14 @@ func waveformRef(e *precompile.Entry) string {
 // plan (front end + canonical keys), resolve every unique group through
 // the shared singleflight/MST machinery, assemble the schedule, and
 // validate it against the schedule invariants before answering.
-func (s *Server) compileCircuit(prog *circuit.Circuit, ns *devreg.Namespace, inlineWaveforms bool) (*CircuitResponse, error) {
+func (s *Server) compileCircuit(prog *circuit.Circuit, ns *devreg.Namespace, inlineWaveforms bool, tr *obs.Trace) (*CircuitResponse, error) {
 	begin := time.Now()
+	sp := tr.StartSpan("prepare")
 	plan, err := ns.Plan(prog)
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
 	gr := plan.Prepared.Grouping
 	resp := &CompileResponse{
 		Qubits:      prog.NumQubits,
@@ -105,8 +108,9 @@ func (s *Server) compileCircuit(prog *circuit.Circuit, ns *devreg.Namespace, inl
 		Epoch:       ns.Epoch,
 		TotalGroups: len(gr.Groups),
 	}
-	entries := s.resolveGroups(ns, resp, plan.Unique)
+	entries := s.resolveGroups(ns, resp, plan.Unique, tr)
 
+	sp = tr.StartSpan("assemble")
 	res := plan.Result()
 	dev := ns.Comp.Options().Device
 	sched, err := accqoc.AssembleSchedule(res, dev.Calibration, func(key string) (*precompile.Entry, bool) {
@@ -117,12 +121,15 @@ func (s *Server) compileCircuit(prog *circuit.Circuit, ns *devreg.Namespace, inl
 		return nil, err
 	}
 	res.OverallLatencyNs = sched.MakespanNs
+	sp.End()
 	// Conformance oracle: a pulse program violating its own invariants
 	// (dependency order, per-qubit exclusivity, two-sided makespan) must
 	// never reach a waveform generator — fail the request instead.
+	vsp := tr.StartSpan("validate")
 	if verr := sched.Validate(); verr != nil {
 		return nil, fmt.Errorf("scheduled pulse program failed conformance: %w", verr)
 	}
+	vsp.End()
 
 	finalizeResponse(resp, plan.Prepared.Physical, dev, sched.MakespanNs, begin)
 
@@ -170,7 +177,7 @@ func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 		return
 	}
-	res := s.dispatch(w, req.CompileRequest, true, req.IncludeWaveforms)
+	res := s.dispatch(w, r, req.CompileRequest, true, req.IncludeWaveforms)
 	if res == nil {
 		return
 	}

@@ -94,6 +94,11 @@ func (s *Server) calibrate(name string, upd devreg.CalibrationUpdate) (*devreg.R
 	if err != nil {
 		return nil, err
 	}
+	s.logger.Info("calibration epoch opened",
+		"component", "server",
+		"device", roll.Device,
+		"epoch", roll.Epoch,
+		"planned", len(roll.Plan))
 	s.rollWG.Add(1)
 	go s.runRoll(roll)
 	return roll, nil
@@ -233,6 +238,13 @@ func (s *Server) startBootLoad() {
 		if os.IsNotExist(err) {
 			// No snapshot yet: a cold boot is a ready boot.
 			err = nil
+		}
+		if err != nil {
+			s.logger.Error("boot snapshot load failed",
+				"component", "server", "path", path, "error", err.Error())
+		} else {
+			s.logger.Info("boot snapshot loaded",
+				"component", "server", "path", path, "entries", n)
 		}
 		s.boot.mu.Lock()
 		s.boot.done = true

@@ -276,7 +276,7 @@ func TestServerCrossEpochSeedingDuringRoll(t *testing.T) {
 	defer s.Close()
 	progA := mustParseT(t, rxAProgram)
 	progB := mustParseT(t, rxBProgram)
-	if _, err := s.compile(progA, s.defaultNS()); err != nil {
+	if _, err := s.compile(progA, s.defaultNS(), nil); err != nil {
 		t.Fatal(err)
 	}
 	// Open the epoch directly on the registry: no background pipeline
@@ -287,7 +287,7 @@ func TestServerCrossEpochSeedingDuringRoll(t *testing.T) {
 	}
 	defer roll.Finish()
 
-	resp, err := s.compile(progB, roll.New)
+	resp, err := s.compile(progB, roll.New, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,429 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// exposition is a parsed /metrics scrape: family types plus every sample
+// keyed by its full series (name + sorted label string as rendered).
+type exposition struct {
+	types   map[string]string
+	samples map[string]float64
+	order   []string
+}
+
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})?) (\S+)$`)
+
+// scrapeMetrics fetches and parses /metrics, failing the test on any
+// malformed exposition line — this is the wire-format oracle the CI smoke
+// step mirrors.
+func scrapeMetrics(t *testing.T, base string) exposition {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	out := exposition{types: map[string]string{}, samples: map[string]float64{}}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			out.types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line %q", line)
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, perr := strconv.ParseFloat(m[2], 64)
+		if perr != nil && m[2] != "+Inf" && m[2] != "-Inf" && m[2] != "NaN" {
+			t.Fatalf("malformed sample value in %q", line)
+		}
+		out.samples[m[1]] = v
+		out.order = append(out.order, m[1])
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// sumSeries totals every sample of a family whose labels include all the
+// given `key="value"` fragments.
+func (e exposition) sumSeries(name string, labelFrags ...string) float64 {
+	var total float64
+	for series, v := range e.samples {
+		if series != name && !strings.HasPrefix(series, name+"{") {
+			continue
+		}
+		ok := true
+		for _, frag := range labelFrags {
+			if !strings.Contains(series, frag) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			total += v
+		}
+	}
+	return total
+}
+
+// TestMetricsExposition pins the /metrics wire format: family names and
+// types, the label sets of the core series, and histogram completeness
+// (+Inf bucket, _sum, _count). A rename here is a dashboard break — make
+// it a conscious one.
+func TestMetricsExposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	_, ts := newTestServer(t)
+	if _, code := postCompile(t, ts.URL, CompileRequest{QASM: oneQubitProgram}); code != http.StatusOK {
+		t.Fatalf("cold compile status %d", code)
+	}
+	if _, code := postCompile(t, ts.URL, CompileRequest{QASM: oneQubitProgram}); code != http.StatusOK {
+		t.Fatalf("warm compile status %d", code)
+	}
+	exp := scrapeMetrics(t, ts.URL)
+
+	wantTypes := map[string]string{
+		"accqoc_http_requests_total":              "counter",
+		"accqoc_http_request_duration_seconds":    "histogram",
+		"accqoc_http_in_flight":                   "gauge",
+		"accqoc_compile_duration_seconds":         "histogram",
+		"accqoc_grape_training_iterations":        "histogram",
+		"accqoc_grape_training_infidelity":        "histogram",
+		"accqoc_grape_optimizer_iterations_total": "counter",
+		"accqoc_grape_step_norm":                  "histogram",
+		"accqoc_seed_distance":                    "histogram",
+		"accqoc_seed_lookups_total":               "counter",
+		"accqoc_store_hits_total":                 "counter",
+		"accqoc_store_misses_total":               "counter",
+		"accqoc_store_evictions_total":            "counter",
+		"accqoc_store_inserts_total":              "counter",
+		"accqoc_store_trainings_total":            "counter",
+		"accqoc_store_coalesced_total":            "counter",
+		"accqoc_store_train_failures_total":       "counter",
+		"accqoc_store_entries":                    "gauge",
+		"accqoc_device_epoch":                     "gauge",
+		"accqoc_device_epoch_age_seconds":         "gauge",
+		"accqoc_roll_active":                      "gauge",
+		"accqoc_roll_planned":                     "gauge",
+		"accqoc_roll_pending":                     "gauge",
+		"accqoc_queue_depth":                      "gauge",
+	}
+	for name, typ := range wantTypes {
+		if got := exp.types[name]; got != typ {
+			t.Errorf("family %s: type %q, want %q", name, got, typ)
+		}
+	}
+
+	// Core series label sets.
+	for _, series := range []string{
+		`accqoc_http_requests_total{endpoint="/v1/compile",code="200"}`,
+		`accqoc_http_request_duration_seconds_count{endpoint="/v1/compile"}`,
+		`accqoc_http_request_duration_seconds_bucket{endpoint="/v1/compile",le="+Inf"}`,
+		`accqoc_http_request_duration_seconds_sum{endpoint="/v1/compile"}`,
+		`accqoc_compile_duration_seconds_count{device="default"}`,
+		`accqoc_grape_training_iterations_count{qubits="1"}`,
+		`accqoc_grape_training_infidelity_bucket{qubits="1",le="+Inf"}`,
+		`accqoc_store_hits_total{device="default"}`,
+		`accqoc_store_trainings_total{device="default"}`,
+		`accqoc_device_epoch{device="default"}`,
+		`accqoc_device_epoch_age_seconds{device="default"}`,
+		`accqoc_roll_active{device="default"}`,
+	} {
+		if _, ok := exp.samples[series]; !ok {
+			t.Errorf("series %s missing from exposition", series)
+		}
+	}
+
+	if exp.samples[`accqoc_http_requests_total{endpoint="/v1/compile",code="200"}`] != 2 {
+		t.Errorf("http_requests_total = %v, want 2",
+			exp.samples[`accqoc_http_requests_total{endpoint="/v1/compile",code="200"}`])
+	}
+	if exp.samples["accqoc_grape_optimizer_iterations_total"] <= 0 {
+		t.Error("optimizer iteration counter never incremented")
+	}
+	if exp.samples[`accqoc_grape_training_iterations_count{qubits="1"}`] <= 0 {
+		t.Error("no GRAPE trainings recorded")
+	}
+	if exp.samples[`accqoc_store_hits_total{device="default"}`] <= 0 {
+		t.Error("warm request produced no store hits in /metrics")
+	}
+}
+
+// TestDebugRequestsSchema pins the flight-recorder JSON: recent/slowest
+// arrays of traces, each with the request ID (matching X-Request-Id),
+// endpoint, status, and per-stage spans covering the compile pipeline.
+func TestDebugRequestsSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	_, ts := newTestServer(t)
+
+	body := strings.NewReader(fmt.Sprintf(`{"qasm":%q}`, oneQubitProgram))
+	resp, err := http.Post(ts.URL+"/v1/compile", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status %d", resp.StatusCode)
+	}
+	rid := resp.Header.Get("X-Request-Id")
+	if rid == "" {
+		t.Fatal("compile response missing X-Request-Id")
+	}
+
+	dr, err := http.Get(ts.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dr.Body.Close()
+	var out struct {
+		Recent []struct {
+			ID         string  `json:"id"`
+			Endpoint   string  `json:"endpoint"`
+			Device     string  `json:"device"`
+			Epoch      int     `json:"epoch"`
+			Qubits     int     `json:"qubits"`
+			Gates      int     `json:"gates"`
+			DurationMs float64 `json:"duration_ms"`
+			Status     int     `json:"status"`
+			Spans      []struct {
+				Name       string  `json:"name"`
+				DurationUs float64 `json:"duration_us"`
+				Outcome    string  `json:"outcome"`
+			} `json:"spans"`
+		} `json:"recent"`
+		Slowest []json.RawMessage `json:"slowest"`
+	}
+	if err := json.NewDecoder(dr.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Recent) == 0 || len(out.Slowest) == 0 {
+		t.Fatalf("flight recorder empty: %d recent, %d slowest", len(out.Recent), len(out.Slowest))
+	}
+	tr := out.Recent[0]
+	if tr.ID != rid {
+		t.Errorf("trace id %q != X-Request-Id %q", tr.ID, rid)
+	}
+	if tr.Endpoint != "/v1/compile" || tr.Status != http.StatusOK {
+		t.Errorf("trace endpoint/status = %q/%d", tr.Endpoint, tr.Status)
+	}
+	if tr.Device != "default" || tr.Qubits != 2 || tr.Gates != 3 {
+		t.Errorf("trace meta = %+v", tr)
+	}
+	if tr.DurationMs <= 0 {
+		t.Error("trace duration not recorded")
+	}
+	stages := map[string]bool{}
+	trained := 0
+	for _, sp := range tr.Spans {
+		stages[sp.Name] = true
+		if sp.Name == "train" && sp.Outcome == "trained" {
+			trained++
+		}
+	}
+	for _, want := range []string{"parse", "queue", "prepare", "plan", "train"} {
+		if !stages[want] {
+			t.Errorf("trace missing %q span (got %v)", want, stages)
+		}
+	}
+	if trained == 0 {
+		t.Error("cold compile recorded no trained spans")
+	}
+}
+
+// TestMetricsCoherenceUnderLoad hammers concurrent compiles while other
+// goroutines scrape /metrics, then checks the counters add up: requests
+// in equals per-endpoint counts out, and every training inserted exactly
+// one entry. Run under -race this also proves scrape/record safety.
+func TestMetricsCoherenceUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	_, ts := newTestServer(t)
+	// Warm the library so the hammer phase is fast (hits, not trainings).
+	if _, code := postCompile(t, ts.URL, CompileRequest{QASM: oneQubitProgram}); code != http.StatusOK {
+		t.Fatalf("warmup status %d", code)
+	}
+
+	const clients, perClient, scrapes = 4, 5, 10
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				postCompile(t, ts.URL, CompileRequest{QASM: oneQubitProgram})
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < scrapes; i++ {
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	wg.Wait()
+
+	exp := scrapeMetrics(t, ts.URL)
+	sent := float64(1 + clients*perClient)
+	if got := exp.sumSeries("accqoc_http_requests_total", `endpoint="/v1/compile"`); got != sent {
+		t.Errorf("sum over codes of /v1/compile requests = %v, want %v", got, sent)
+	}
+	if got := exp.sumSeries("accqoc_http_request_duration_seconds_count", `endpoint="/v1/compile"`); got != sent {
+		t.Errorf("latency histogram count = %v, want %v", got, sent)
+	}
+	trainings := exp.sumSeries("accqoc_store_trainings_total")
+	inserts := exp.sumSeries("accqoc_store_inserts_total")
+	failures := exp.sumSeries("accqoc_store_train_failures_total")
+	if trainings != inserts+failures {
+		t.Errorf("trainings (%v) != inserts (%v) + failures (%v)", trainings, inserts, failures)
+	}
+	if trainings <= 0 {
+		t.Error("no trainings recorded")
+	}
+	if got := exp.samples["accqoc_http_in_flight"]; got != 0 {
+		t.Errorf("in-flight gauge = %v after load drained", got)
+	}
+}
+
+// TestDisableObservabilityEquivalence pins the escape hatch: with
+// observability disabled the server neither exposes the new endpoints nor
+// stamps responses, and the library it builds is bit-identical to the
+// instrumented server's — the hooks must not perturb training.
+func TestDisableObservabilityEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pulses; skipped in -short")
+	}
+	plain := New(Config{Compile: fastOpts(), Workers: 4, DisableObservability: true})
+	tsPlain := httptest.NewServer(plain.Handler())
+	defer func() { tsPlain.Close(); plain.Close() }()
+	instr := New(Config{Compile: fastOpts(), Workers: 4})
+	tsInstr := httptest.NewServer(instr.Handler())
+	defer func() { tsInstr.Close(); instr.Close() }()
+
+	respPlain := postRaw(t, tsPlain.URL, oneQubitProgram)
+	respInstr := postRaw(t, tsInstr.URL, oneQubitProgram)
+
+	if rid := respPlain.header.Get("X-Request-Id"); rid != "" {
+		t.Errorf("disabled server stamped X-Request-Id %q", rid)
+	}
+	if rid := respInstr.header.Get("X-Request-Id"); rid == "" {
+		t.Error("instrumented server missing X-Request-Id")
+	}
+	for _, path := range []string{"/metrics", "/debug/requests"} {
+		resp, err := http.Get(tsPlain.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("disabled server serves %s (status %d)", path, resp.StatusCode)
+		}
+	}
+
+	// Response bodies agree once the wall-clock field is masked.
+	var a, b CompileResponse
+	if err := json.Unmarshal(respPlain.body, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(respInstr.body, &b); err != nil {
+		t.Fatal(err)
+	}
+	a.CompileMillis, b.CompileMillis = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("responses diverge:\nplain %+v\ninstr %+v", a, b)
+	}
+
+	// And the trained libraries are bit-identical.
+	got := plain.Store().Snapshot().Entries
+	want := instr.Store().Snapshot().Entries
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("store sizes diverge: %d vs %d", len(got), len(want))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Fatalf("disabled store missing %q", key)
+		}
+		if g.Iterations != w.Iterations || g.LatencyNs != w.LatencyNs {
+			t.Fatalf("entry %q diverges: iterations %d vs %d, latency %v vs %v",
+				key, g.Iterations, w.Iterations, g.LatencyNs, w.LatencyNs)
+		}
+		if !reflect.DeepEqual(g.Pulse.Amps, w.Pulse.Amps) || g.Pulse.Dt != w.Pulse.Dt {
+			t.Fatalf("entry %q pulse not bit-identical across observability modes", key)
+		}
+	}
+}
+
+type rawResponse struct {
+	header http.Header
+	body   []byte
+}
+
+func postRaw(t *testing.T, base, qasm string) rawResponse {
+	t.Helper()
+	payload, err := json.Marshal(CompileRequest{QASM: qasm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/compile", "application/json", strings.NewReader(string(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	return rawResponse{header: resp.Header, body: body}
+}

@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -49,6 +50,7 @@ import (
 	"accqoc/internal/grouping"
 	"accqoc/internal/latency"
 	"accqoc/internal/libstore"
+	"accqoc/internal/obs"
 	"accqoc/internal/precompile"
 	"accqoc/internal/qasm"
 	"accqoc/internal/seedindex"
@@ -101,6 +103,19 @@ type Config struct {
 	// baseline). It also disables cross-epoch recompilation plans (the
 	// index is where training targets are cached).
 	DisableSeedIndex bool
+	// DisableObservability turns off the whole telemetry layer: no
+	// /metrics or /debug/requests routes, no request IDs or X-Request-Id
+	// header, no pipeline hooks — responses are byte-identical to the
+	// pre-observability server.
+	DisableObservability bool
+	// FlightRecorderSize bounds the request flight recorder: the last N
+	// traces and the N slowest are kept for GET /debug/requests.
+	// Default 64.
+	FlightRecorderSize int
+	// Logger receives the server's structured events (boot-snapshot load,
+	// calibration epochs, request failures), each stamped with the
+	// request ID when one is in scope. Default slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +133,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 4 << 20
+	}
+	if c.FlightRecorderSize <= 0 {
+		c.FlightRecorderSize = 64
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -220,7 +241,12 @@ type job struct {
 	// item (roll carries the progress accounting).
 	recomp *devreg.RecompItem
 	roll   *devreg.Roll
-	done   chan jobResult
+	// trace is the request's pipeline trace (nil when observability is
+	// off or the endpoint is not flight-recorded); queueSpan times the
+	// handler→worker handoff and is ended at worker pickup.
+	trace     *obs.Trace
+	queueSpan *obs.Span
+	done      chan jobResult
 }
 
 type jobResult struct {
@@ -250,6 +276,12 @@ type Server struct {
 	requests, failures, rejected atomic.Int64
 	compileNs, warmSeeded        atomic.Int64
 
+	// obs is the observability bundle (metrics registry, flight recorder,
+	// pipeline hooks); nil under Config.DisableObservability, and every
+	// recording site nil-checks it.
+	obs    *obsState
+	logger *slog.Logger
+
 	boot bootState
 
 	// closeMu orders handler enqueues against Close: an enqueue holds the
@@ -264,11 +296,23 @@ type Server struct {
 // New builds a server and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	reg, err := devreg.New(devreg.Config{
+	// The observability hooks must be planted in the option template
+	// BEFORE the registry copies it into namespaces: every epoch's
+	// compiler (and every future epoch's, opened by a calibration)
+	// inherits them from cfg.Compile.
+	var ob *obsState
+	regCfg := devreg.Config{
 		Base:             cfg.Compile,
 		StoreOptions:     cfg.StoreOptions,
 		DisableSeedIndex: cfg.DisableSeedIndex,
-	}, devreg.Profile{
+	}
+	if !cfg.DisableObservability {
+		ob = newObsState(cfg.FlightRecorderSize)
+		regCfg.Base.Precompile.Grape.IterationHook = ob.grapeIterHook
+		regCfg.Base.Precompile.Observer = ob.trainingObserver
+		regCfg.SeedObserver = ob.seedObserver
+	}
+	reg, err := devreg.New(regCfg, devreg.Profile{
 		Name:   cfg.DeviceName,
 		Device: cfg.Compile.Device,
 		Ham:    cfg.Compile.Precompile.Ham,
@@ -285,18 +329,25 @@ func New(cfg Config) *Server {
 		jobs:     make(chan *job, cfg.QueueDepth),
 		quit:     make(chan struct{}),
 		start:    time.Now(),
+		obs:      ob,
+		logger:   cfg.Logger,
 	}
 	for _, p := range cfg.Devices {
 		if rerr := reg.Register(p); rerr != nil {
 			panic(rerr)
 		}
 	}
-	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
-	s.mux.HandleFunc("POST /v1/circuits/compile", s.handleCircuits)
-	s.mux.HandleFunc("GET /v1/library/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
-	s.mux.HandleFunc("POST /v1/devices/{name}/calibrate", s.handleCalibrate)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/compile", s.instrument("/v1/compile", true, s.handleCompile))
+	s.mux.HandleFunc("POST /v1/circuits/compile", s.instrument("/v1/circuits/compile", true, s.handleCircuits))
+	s.mux.HandleFunc("GET /v1/library/stats", s.instrument("/v1/library/stats", false, s.handleStats))
+	s.mux.HandleFunc("GET /v1/devices", s.instrument("/v1/devices", false, s.handleDevices))
+	s.mux.HandleFunc("POST /v1/devices/{name}/calibrate", s.instrument("/v1/devices/calibrate", false, s.handleCalibrate))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", false, s.handleHealthz))
+	if ob != nil {
+		s.registerCollectors()
+		s.mux.Handle("GET /metrics", ob.reg.Handler())
+		s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -366,17 +417,18 @@ func (s *Server) enqueue(j *job) error {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	run := func(j *job) {
+		j.queueSpan.End()
 		if j.recomp != nil {
 			s.recompileOne(j.roll, j.recomp)
 			j.done <- jobResult{}
 			return
 		}
 		if j.circuit {
-			circ, err := s.compileCircuit(j.prog, j.ns, j.waveforms)
+			circ, err := s.compileCircuit(j.prog, j.ns, j.waveforms, j.trace)
 			j.done <- jobResult{circ: circ, err: err}
 			return
 		}
-		resp, err := s.compile(j.prog, j.ns)
+		resp, err := s.compile(j.prog, j.ns, j.trace)
 		j.done <- jobResult{resp: resp, err: err}
 	}
 	for {
@@ -508,9 +560,10 @@ func seedFor(ns *devreg.Namespace, fn similarity.Func, st trainStep, trained []*
 // evaluates it). A returned unitary pre-indexes the freshly trained entry
 // under its target so the store hook's propagation is skipped (the index
 // dedups on pulse identity).
-func (s *Server) resolve(ns *devreg.Namespace, resp *CompileResponse, entries map[string]*precompile.Entry, u *grouping.UniqueGroup, cfg precompile.Config, plan func() (*precompile.Entry, float64, *cmat.Matrix)) *precompile.Entry {
+func (s *Server) resolve(ns *devreg.Namespace, resp *CompileResponse, entries map[string]*precompile.Entry, u *grouping.UniqueGroup, cfg precompile.Config, plan func() (*precompile.Entry, float64, *cmat.Matrix), tr *obs.Trace) *precompile.Entry {
 	var seedDist float64
 	var seeded bool
+	sp := tr.StartSpan("train")
 	e, outcome, err := ns.Store.GetOrTrain(u.Key, func() (*precompile.Entry, error) {
 		var seed *precompile.Entry
 		var unitary *cmat.Matrix
@@ -529,6 +582,8 @@ func (s *Server) resolve(ns *devreg.Namespace, resp *CompileResponse, entries ma
 	})
 	if outcome == libstore.OutcomeHit {
 		resp.CoveredGroups += u.Count
+		// A hit span is never ended: warm requests would otherwise bloat
+		// every trace with hundreds of no-op lookups.
 	} else {
 		// Trained here or joined another request's in-flight training:
 		// either way this request waited on GRAPE for the group.
@@ -540,6 +595,21 @@ func (s *Server) resolve(ns *devreg.Namespace, resp *CompileResponse, entries ma
 				resp.seedDistanceSum += seedDist
 				s.warmSeeded.Add(1)
 			}
+		}
+		if sp != nil {
+			sp.Key = u.Key
+			sp.Outcome = outcomeString(outcome)
+			sp.Coalesced = outcome == libstore.OutcomeJoined
+			if outcome == libstore.OutcomeTrained && err == nil {
+				sp.Iterations = e.Iterations
+				sp.Infidelity = e.Infidelity
+				if seeded {
+					sp.SeedDistance = seedDist
+				} else {
+					sp.SeedDistance = -1 // trained cold
+				}
+			}
+			sp.End()
 		}
 	}
 	if err != nil {
@@ -555,8 +625,9 @@ func (s *Server) resolve(ns *devreg.Namespace, resp *CompileResponse, entries ma
 // plan/execute shape: Prepare, a stats-neutral coverage plan that
 // MST-orders the request's cache misses, singleflight training along the
 // tree edges with warm-start seeds, and Algorithm 3 latency assembly.
-func (s *Server) compile(prog *circuit.Circuit, ns *devreg.Namespace) (*CompileResponse, error) {
+func (s *Server) compile(prog *circuit.Circuit, ns *devreg.Namespace, tr *obs.Trace) (*CompileResponse, error) {
 	begin := time.Now()
+	sp := tr.StartSpan("prepare")
 	prep, err := ns.Comp.Prepare(prog)
 	if err != nil {
 		return nil, err
@@ -566,6 +637,7 @@ func (s *Server) compile(prog *circuit.Circuit, ns *devreg.Namespace) (*CompileR
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
 
 	resp := &CompileResponse{
 		Qubits:      prog.NumQubits,
@@ -578,8 +650,9 @@ func (s *Server) compile(prog *circuit.Circuit, ns *devreg.Namespace) (*CompileR
 	// every unique group: a warm key is a store hit; a cold key trains
 	// exactly once across all concurrent requests (singleflight).
 	uniq := grouping.DeduplicateKeyed(gr.Groups, keys)
-	entries := s.resolveGroups(ns, resp, uniq)
+	entries := s.resolveGroups(ns, resp, uniq, tr)
 
+	sp = tr.StartSpan("latency")
 	dev := ns.Comp.Options().Device
 	overall, err := latency.OverallGroups(gr, func(i int) (float64, error) {
 		if e, ok := entries[keys[i]]; ok {
@@ -591,6 +664,7 @@ func (s *Server) compile(prog *circuit.Circuit, ns *devreg.Namespace) (*CompileR
 		return nil, err
 	}
 	finalizeResponse(resp, prep.Physical, dev, overall, begin)
+	sp.End()
 	return resp, nil
 }
 
@@ -612,7 +686,7 @@ func finalizeResponse(resp *CompileResponse, phys *circuit.Circuit, dev *topolog
 // concurrent requests (singleflight), MST-ordered with warm-start seeds
 // when the seed index is on. It fills the response's coverage, training
 // and seeding counters and returns the resolved entries by key.
-func (s *Server) resolveGroups(ns *devreg.Namespace, resp *CompileResponse, uniq []*grouping.UniqueGroup) map[string]*precompile.Entry {
+func (s *Server) resolveGroups(ns *devreg.Namespace, resp *CompileResponse, uniq []*grouping.UniqueGroup, tr *obs.Trace) map[string]*precompile.Entry {
 	entries := make(map[string]*precompile.Entry, len(uniq))
 	cfg := ns.Comp.Options().Precompile
 	simFn := ns.SimilarityFn()
@@ -622,11 +696,12 @@ func (s *Server) resolveGroups(ns *devreg.Namespace, resp *CompileResponse, uniq
 		// random-init trainings — the pre-index serving path, preserved
 		// byte for byte.
 		for _, u := range uniq {
-			s.resolve(ns, resp, entries, u, cfg, nil)
+			s.resolve(ns, resp, entries, u, cfg, nil, tr)
 		}
 	default:
 		// Plan: partition into covered and cold without touching
 		// counters or LRU order, then MST-order the cold set.
+		psp := tr.StartSpan("plan")
 		var covered, cold []*grouping.UniqueGroup
 		for _, u := range uniq {
 			if ns.Store.Contains(u.Key) {
@@ -636,6 +711,7 @@ func (s *Server) resolveGroups(ns *devreg.Namespace, resp *CompileResponse, uniq
 			}
 		}
 		steps, perr := planColdSteps(cold, simFn)
+		psp.End()
 		if perr != nil {
 			// Planning must never fail a request harder than the legacy
 			// path would: the same defect (an unbuildable group unitary,
@@ -643,7 +719,7 @@ func (s *Server) resolveGroups(ns *devreg.Namespace, resp *CompileResponse, uniq
 			// on the legacy path, where the group is priced gate-based
 			// and counted in failed_groups. Fall back to exactly that.
 			for _, u := range uniq {
-				s.resolve(ns, resp, entries, u, cfg, nil)
+				s.resolve(ns, resp, entries, u, cfg, nil, tr)
 			}
 			break
 		}
@@ -663,7 +739,7 @@ func (s *Server) resolveGroups(ns *devreg.Namespace, resp *CompileResponse, uniq
 				cu := precompile.CanonicalUnitary(m)
 				seed, d := seedFor(ns, simFn, trainStep{uniq: u, unitary: cu, warmFrom: -1}, nil)
 				return seed, d, cu
-			})
+			}, tr)
 		}
 		trained := make([]*precompile.Entry, len(cold))
 		for _, st := range steps {
@@ -672,7 +748,7 @@ func (s *Server) resolveGroups(ns *devreg.Namespace, resp *CompileResponse, uniq
 				func() (*precompile.Entry, float64, *cmat.Matrix) {
 					seed, d := seedFor(ns, simFn, st, trained)
 					return seed, d, st.unitary
-				})
+				}, tr)
 		}
 	}
 	if resp.WarmSeeded > 0 {
@@ -696,7 +772,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 		return
 	}
-	res := s.dispatch(w, req, false, false)
+	res := s.dispatch(w, r, req, false, false)
 	if res == nil {
 		return
 	}
@@ -711,17 +787,24 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 // ingest the program, route the device field to its current-epoch
 // namespace, run one job through the worker pool, and apply the
 // failure/rejection accounting. A nil return means an error response has
-// already been written.
-func (s *Server) dispatch(w http.ResponseWriter, req CompileRequest, circuit, waveforms bool) *jobResult {
+// already been written. r carries the request trace and ID planted by
+// the middleware (absent with observability off — every obs call below
+// is nil-safe).
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req CompileRequest, circuit, waveforms bool) *jobResult {
+	tr := obs.TraceFrom(r.Context())
+	sp := tr.StartSpan("parse")
 	prog, err := s.ingest(req)
 	if err != nil {
 		s.failures.Add(1)
+		s.logRequestError(r, "ingest", err)
 		writeError(w, http.StatusBadRequest, err)
 		return nil
 	}
+	sp.End()
 	ns, err := s.registry.Acquire(req.Device)
 	if err != nil {
 		s.failures.Add(1)
+		s.logRequestError(r, "route", err)
 		writeError(w, http.StatusBadRequest, err)
 		return nil
 	}
@@ -729,8 +812,10 @@ func (s *Server) dispatch(w http.ResponseWriter, req CompileRequest, circuit, wa
 	// until the response is assembled, even if a calibration lands
 	// mid-request.
 	defer ns.Release()
+	tr.SetMeta(ns.DeviceName, ns.Epoch, prog.NumQubits, prog.GateCount())
 
-	j := &job{prog: prog, ns: ns, circuit: circuit, waveforms: waveforms, done: make(chan jobResult, 1)}
+	begin := time.Now()
+	j := &job{prog: prog, ns: ns, circuit: circuit, waveforms: waveforms, trace: tr, queueSpan: tr.StartSpan("queue"), done: make(chan jobResult, 1)}
 	if err := s.enqueue(j); err != nil {
 		s.rejected.Add(1)
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -739,12 +824,24 @@ func (s *Server) dispatch(w http.ResponseWriter, req CompileRequest, circuit, wa
 	// Wait for the worker even if the client goes away: the training is
 	// already paid for and warms the shared library.
 	res := <-j.done
+	s.observeCompile(ns.DeviceName, time.Since(begin))
 	if res.err != nil {
 		s.failures.Add(1)
+		s.logRequestError(r, "compile", res.err)
 		writeError(w, http.StatusInternalServerError, res.err)
 		return nil
 	}
 	return &res
+}
+
+// logRequestError files one request failure with its request ID, so log
+// lines join up with the flight recorder's traces.
+func (s *Server) logRequestError(r *http.Request, stage string, err error) {
+	s.logger.Debug("request failed",
+		"component", "server",
+		"stage", stage,
+		"request_id", obs.RequestIDFrom(r.Context()),
+		"error", err.Error())
 }
 
 // ingest turns a request body into a circuit.

@@ -67,7 +67,9 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	policyName := flag.String("policy", "map2b4l", "grouping policy: map2b2l|map2b3l|map2b4l|swap2b2l|swap2b3l|swap2b4l")
+	policyName := flag.String("policy", "map2b4l", "grouping policy: map2b2l|map2b3l|map2b4l|swap2b2l|swap2b3l|swap2b4l; with -enable-3q also map3b2l|map3b3l")
+	enable3Q := flag.Bool("enable-3q", false,
+		"allow the 3-qubit grouping policies (map3b2l, map3b3l): dim-8 groups, much costlier GRAPE training per group")
 	deviceName := flag.String("device", "melbourne", "default device: melbourne | linear<N> | grid<R>x<C>")
 	extraDevices := flag.String("devices", "", "comma-separated extra device specs served next to the default (same syntax as -device)")
 	libPath := flag.String("lib", "", "library snapshot path for the default device (loaded at boot, saved at shutdown)")
@@ -104,7 +106,17 @@ func main() {
 		os.Exit(1)
 	}
 
-	policy, err := grouping.PolicyByName(*policyName)
+	var policy grouping.Policy
+	if *enable3Q {
+		policy, err = grouping.PolicyByNameExtended(*policyName)
+	} else {
+		policy, err = grouping.PolicyByName(*policyName)
+		if err != nil {
+			if _, err3 := grouping.PolicyByNameExtended(*policyName); err3 == nil {
+				err = fmt.Errorf("policy %q requires -enable-3q (dim-8 groups train much more slowly)", *policyName)
+			}
+		}
+	}
 	if err != nil {
 		fatal("bad -policy", "error", err.Error())
 	}

@@ -117,6 +117,18 @@ type deviceSummary struct {
 	GrapeIter int     `json:"grape_iterations"`
 }
 
+// groupSizeSummary is one per-group-size row of the -circuits report: how
+// much of the scheduled program each group dimension contributes. With a
+// 3Q policy enabled server-side this is where the group-size frontier
+// becomes visible from the client — fewer, longer slots at size 3.
+type groupSizeSummary struct {
+	Size            int     `json:"size"`
+	Slots           int     `json:"slots"`
+	TotalDurationNs float64 `json:"total_duration_ns"`
+	MeanDurationNs  float64 `json:"mean_duration_ns"`
+	MakespanShare   float64 `json:"makespan_share,omitempty"`
+}
+
 // clientSummary is the machine-readable loadgen report emitted by -json,
 // replacing hand-rolled BENCH_*.json capture.
 type clientSummary struct {
@@ -130,10 +142,11 @@ type clientSummary struct {
 	GroupsTrained int     `json:"groups_trained"`
 
 	// Circuit-mode schedule view (zero unless -circuits).
-	Slots            int     `json:"slots,omitempty"`
-	MakespanNs       float64 `json:"makespan_ns,omitempty"`
-	GateLatencyNs    float64 `json:"gate_latency_ns,omitempty"`
-	LatencyReduction float64 `json:"latency_reduction,omitempty"`
+	Slots            int                `json:"slots,omitempty"`
+	MakespanNs       float64            `json:"makespan_ns,omitempty"`
+	GateLatencyNs    float64            `json:"gate_latency_ns,omitempty"`
+	LatencyReduction float64            `json:"latency_reduction,omitempty"`
+	GroupSizes       []groupSizeSummary `json:"group_sizes,omitempty"`
 
 	WarmRequests  int     `json:"warm_requests"`
 	WarmFailed    int     `json:"warm_failed"`
@@ -213,9 +226,10 @@ func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency i
 		device string
 		wall   time.Duration
 		resp   server.CompileResponse
-		// makespan/slots carry the schedule view in -circuits mode.
+		// makespan/slots/sizes carry the schedule view in -circuits mode.
 		makespan float64
 		slots    int
+		sizes    map[int]groupSizeSummary
 		err      error
 		debug    string
 	}
@@ -257,6 +271,14 @@ func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency i
 					s.resp = cr.Compile
 					s.makespan = cr.MakespanNs
 					s.slots = len(cr.Schedule)
+					s.sizes = map[int]groupSizeSummary{}
+					for _, sp := range cr.Schedule {
+						g := s.sizes[len(sp.Qubits)]
+						g.Size = len(sp.Qubits)
+						g.Slots++
+						g.TotalDurationNs += sp.DurationNs
+						s.sizes[g.Size] = g
+					}
 				}
 			default:
 				if derr := json.NewDecoder(resp.Body).Decode(&s.resp); derr != nil {
@@ -302,6 +324,16 @@ func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency i
 		sum.MakespanNs = cold.makespan
 		sum.GateLatencyNs = cold.resp.GateLatencyNs
 		sum.LatencyReduction = cold.resp.LatencyReduction
+		for _, g := range cold.sizes {
+			if g.Slots > 0 {
+				g.MeanDurationNs = g.TotalDurationNs / float64(g.Slots)
+			}
+			if cold.makespan > 0 {
+				g.MakespanShare = g.TotalDurationNs / cold.makespan
+			}
+			sum.GroupSizes = append(sum.GroupSizes, g)
+		}
+		sort.Slice(sum.GroupSizes, func(i, j int) bool { return sum.GroupSizes[i].Size < sum.GroupSizes[j].Size })
 	}
 	if !jsonOut {
 		fmt.Printf("cold request: %v wall, %.1f ms compile, coverage %.0f%%, %d groups trained\n",
@@ -310,6 +342,10 @@ func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency i
 		if circuits {
 			fmt.Printf("scheduled program: %d slots, makespan %.0f ns vs %.0f ns gate-based (%.2fx)\n",
 				cold.slots, cold.makespan, cold.resp.GateLatencyNs, cold.resp.LatencyReduction)
+			for _, g := range sum.GroupSizes {
+				fmt.Printf("  %dq groups: %d slots, %.0f ns pulse time (mean %.0f ns, %.0f%% of makespan)\n",
+					g.Size, g.Slots, g.TotalDurationNs, g.MeanDurationNs, 100*g.MakespanShare)
+			}
 		}
 	}
 

@@ -79,7 +79,8 @@ func TestClientSummaryJSONShape(t *testing.T) {
 	// The -json report is what BENCH_*.json capture scripts parse: pin the
 	// field names so a rename is a conscious break.
 	raw, err := json.Marshal(clientSummary{
-		Devices: []deviceSummary{{Device: "melbourne"}},
+		Devices:    []deviceSummary{{Device: "melbourne"}},
+		GroupSizes: []groupSizeSummary{{Size: 3, Slots: 1}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +94,7 @@ func TestClientSummaryJSONShape(t *testing.T) {
 		"cold_wall_ms", "cold_compile_ms", "cold_coverage", "groups_trained",
 		"warm_requests", "warm_failed", "warm_served", "warm_elapsed_ms",
 		"warm_p50_ms", "warm_p95_ms", "warm_p99_ms",
-		"devices", "library", "server",
+		"devices", "library", "server", "group_sizes",
 	} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("summary JSON missing %q", key)
@@ -140,5 +141,37 @@ func TestAssignDevicesProportionsAndInterleave(t *testing.T) {
 		if d != "" {
 			t.Fatalf("no-mix assignment %q", d)
 		}
+	}
+}
+
+func TestGroupSizeSummaryJSONShape(t *testing.T) {
+	raw, err := json.Marshal(groupSizeSummary{Size: 3, Slots: 2, TotalDurationNs: 5000, MeanDurationNs: 2500, MakespanShare: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"size", "slots", "total_duration_ns", "mean_duration_ns", "makespan_share"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("group size JSON missing %q", key)
+		}
+	}
+}
+
+func TestResolvePolicyGates3Q(t *testing.T) {
+	if _, err := resolvePolicy("map3b3l", false); err == nil {
+		t.Fatal("map3b3l resolved without -enable-3q")
+	}
+	p, err := resolvePolicy("map3b3l", true)
+	if err != nil || p.MaxQubits != 3 {
+		t.Fatalf("map3b3l with -enable-3q = %+v, err %v", p, err)
+	}
+	if _, err := resolvePolicy("map2b4l", false); err != nil {
+		t.Fatalf("map2b4l rejected: %v", err)
+	}
+	if _, err := resolvePolicy("bogus", true); err == nil {
+		t.Fatal("bogus policy accepted")
 	}
 }

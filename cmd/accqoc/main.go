@@ -36,7 +36,9 @@ func gopts(fidelity float64, maxIter int) grape.Options {
 
 func main() {
 	in := flag.String("in", "", "input OpenQASM 2.0 file (required unless -workload)")
-	policyName := flag.String("policy", "map2b4l", "grouping policy (see Table I): map2b2l|map2b3l|map2b4l|swap2b2l|swap2b3l|swap2b4l")
+	policyName := flag.String("policy", "map2b4l", "grouping policy (see Table I): map2b2l|map2b3l|map2b4l|swap2b2l|swap2b3l|swap2b4l; with -enable-3q also map3b2l|map3b3l")
+	enable3Q := flag.Bool("enable-3q", false,
+		"allow the 3-qubit grouping policies (map3b2l, map3b3l): dim-8 groups, much costlier GRAPE training per group")
 	deviceName := flag.String("device", "melbourne", "device: melbourne | linear<N> | grid<R>x<C>")
 	libPath := flag.String("lib", "", "pulse library JSON to load and update")
 	fidelity := flag.Float64("fidelity", 1e-3, "GRAPE target infidelity")
@@ -72,7 +74,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	policy, err := grouping.PolicyByName(*policyName)
+	policy, err := resolvePolicy(*policyName, *enable3Q)
 	if err != nil {
 		fatal(err)
 	}
@@ -134,6 +136,21 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "accqoc:", err)
 	os.Exit(1)
+}
+
+// resolvePolicy maps a policy name to its definition; the 3-qubit set is
+// only reachable when the user passed -enable-3q.
+func resolvePolicy(name string, enable3Q bool) (grouping.Policy, error) {
+	if enable3Q {
+		return grouping.PolicyByNameExtended(name)
+	}
+	p, err := grouping.PolicyByName(name)
+	if err != nil {
+		if _, ok3 := grouping.PolicyByNameExtended(name); ok3 == nil {
+			return grouping.Policy{}, fmt.Errorf("policy %q requires -enable-3q (dim-8 groups train much more slowly)", name)
+		}
+	}
+	return p, err
 }
 
 func parseDevice(name string) (*topology.Device, error) {

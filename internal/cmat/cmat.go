@@ -205,7 +205,9 @@ func Mul(a, b *Matrix) *Matrix {
 // MulInto computes dst = a·b without allocating. dst must have shape
 // a.Rows × b.Cols and must not alias a or b. Square 2×2 and 4×4 products —
 // the one- and two-qubit shapes that dominate every QOC workload — are
-// dispatched to fully unrolled kernels.
+// dispatched to fully unrolled kernels; products with at least 8 output
+// rows and columns (three-qubit groups and up) take the row-blocked
+// path of gemm.go, which is bit-identical to the naive loop.
 func MulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("cmat: MulInto shape mismatch")
@@ -218,23 +220,11 @@ func MulInto(dst, a, b *Matrix) {
 	case n == 4 && k == 4 && p == 4:
 		mul4x4(dst.Data, a.Data, b.Data)
 		return
+	case n >= gemmMinDim && p >= gemmMinDim:
+		mulRows(dst, a, b, 0, n)
+		return
 	}
-	for i := 0; i < n; i++ {
-		row := dst.Data[i*p : (i+1)*p]
-		for j := range row {
-			row[j] = 0
-		}
-		for l := 0; l < k; l++ {
-			av := a.Data[i*k+l]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[l*p : (l+1)*p]
-			for j, bv := range brow {
-				row[j] += av * bv
-			}
-		}
-	}
+	mulNaive(dst, a, b)
 }
 
 // MulChain multiplies matrices left to right: MulChain(a,b,c) = a·b·c.
@@ -257,10 +247,15 @@ func Dagger(a *Matrix) *Matrix {
 }
 
 // DaggerInto computes dst = a† without allocating. dst must have shape
-// a.Cols × a.Rows and must not alias a.
+// a.Cols × a.Rows and must not alias a. Large operands (both dims ≥ 8)
+// transpose in cache blocks; the element values are identical either way.
 func DaggerInto(dst, a *Matrix) {
 	if dst.Rows != a.Cols || dst.Cols != a.Rows {
 		panic(fmt.Sprintf("cmat: DaggerInto shape mismatch %dx%d vs %dx%d", dst.Rows, dst.Cols, a.Rows, a.Cols))
+	}
+	if a.Rows >= gemmMinDim && a.Cols >= gemmMinDim {
+		daggerBlocked(dst, a)
+		return
 	}
 	for i := 0; i < a.Rows; i++ {
 		for j := 0; j < a.Cols; j++ {
@@ -308,6 +303,10 @@ func MulABtInto(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic("cmat: MulABtInto shape mismatch")
 	}
+	if a.Rows >= gemmMinDim && b.Rows >= gemmMinDim {
+		mulABtRows(dst, a, b, 0, a.Rows)
+		return
+	}
 	k := a.Cols
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*k : (i+1)*k]
@@ -330,6 +329,10 @@ func MulConjInto(dst, a, b *Matrix) {
 		panic("cmat: MulConjInto shape mismatch")
 	}
 	n, k, p := a.Rows, a.Cols, b.Cols
+	if n >= gemmMinDim && p >= gemmMinDim {
+		mulConjRows(dst, a, b, 0, n)
+		return
+	}
 	for i := 0; i < n; i++ {
 		row := dst.Data[i*p : (i+1)*p]
 		for j := range row {

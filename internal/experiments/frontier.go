@@ -1,0 +1,111 @@
+package experiments
+
+// The group-size frontier: AccQOC's central tradeoff is that larger gate
+// groups shorten the pulse schedule (fewer, jointly-optimized slots) at
+// the cost of steeply more GRAPE work per group (dim-8 propagators, more
+// segments, longer duration searches). The paper stops at 2-qubit groups;
+// with the opt-in 3Q policies the tradeoff is finally measurable. Frontier
+// compiles the same workloads under the best 2b policy and the 3b policies
+// with identical training budgets and reports both axes: makespan
+// (latency) and total GRAPE iterations / wall time (training cost).
+// Recorded medians live in BENCH_3q.json and EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"accqoc"
+	"accqoc/internal/grouping"
+	"accqoc/internal/workload"
+)
+
+// FrontierCell is one (program, policy) point of the frontier.
+type FrontierCell struct {
+	Program            string
+	Policy             string
+	MaxQubits          int
+	Groups             int
+	UniqueGroups       int
+	MakespanNs         float64
+	GateLatencyNs      float64
+	Reduction          float64
+	TrainingIterations int
+	TrainingMillis     float64
+	// PerIterMicros is mean training wall time per GRAPE iteration — the
+	// per-iteration cost axis the tiled GEMM attacks at dim 8.
+	PerIterMicros float64
+}
+
+// frontierPrograms returns the evaluation workloads: two QFTs whose
+// adjacent CX/CP chains merge readily into 3-qubit groups, plus a random
+// program as a mixed-structure control.
+func (s Scale) frontierPrograms() ([]*workload.Program, error) {
+	if s.FrontierCustom != nil {
+		return s.FrontierCustom, nil
+	}
+	rnd, err := workload.Random("rand_5q", 5, 24, 4100)
+	if err != nil {
+		return nil, err
+	}
+	return []*workload.Program{workload.QFT(3), workload.QFT(4), rnd}, nil
+}
+
+// Frontier compiles each workload under the strongest Table I policy
+// (map2b4l) and the 3-qubit policies, cold library each time, identical
+// GRAPE budgets, and reports makespan vs training cost per cell.
+func Frontier(w io.Writer, sc Scale) ([]FrontierCell, error) {
+	progs, err := sc.frontierPrograms()
+	if err != nil {
+		return nil, err
+	}
+	// Identical budget both arms; floor the target so dim-8 trainings
+	// terminate in experiment time rather than physics-paper time.
+	cfg := sc.precompileConfig()
+	if cfg.Grape.TargetInfidelity < 1e-2 {
+		cfg.Grape.TargetInfidelity = 1e-2
+	}
+	if cfg.Grape.MaxIterations > 400 {
+		cfg.Grape.MaxIterations = 400
+	}
+
+	policies := []grouping.Policy{grouping.Map2b4l, grouping.Map3b2l, grouping.Map3b3l}
+	var cells []FrontierCell
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "program\tpolicy\tgroups\tmakespan(ns)\treduction\tGRAPE iters\ttrain(ms)\tus/iter")
+	for _, prog := range progs {
+		for _, pol := range policies {
+			comp := accqoc.New(accqoc.Options{
+				Device:     DeviceFor(prog.Circuit),
+				Policy:     pol,
+				Precompile: cfg,
+			})
+			res, cerr := comp.Compile(prog.Circuit)
+			if cerr != nil {
+				return nil, fmt.Errorf("frontier %s/%s: %w", prog.Name, pol.Name, cerr)
+			}
+			cell := FrontierCell{
+				Program:            prog.Name,
+				Policy:             pol.Name,
+				MaxQubits:          pol.MaxQubits,
+				Groups:             res.TotalGroups,
+				UniqueGroups:       res.UncoveredUnique,
+				MakespanNs:         res.OverallLatencyNs,
+				GateLatencyNs:      res.GateBasedLatencyNs,
+				Reduction:          res.LatencyReduction,
+				TrainingIterations: res.TrainingIterations,
+				TrainingMillis:     float64(res.TrainingTime) / float64(time.Millisecond),
+			}
+			if cell.TrainingIterations > 0 {
+				cell.PerIterMicros = float64(res.TrainingTime) / float64(time.Microsecond) / float64(cell.TrainingIterations)
+			}
+			cells = append(cells, cell)
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.2fx\t%d\t%.0f\t%.1f\n",
+				cell.Program, cell.Policy, cell.Groups, cell.MakespanNs,
+				cell.Reduction, cell.TrainingIterations, cell.TrainingMillis, cell.PerIterMicros)
+		}
+	}
+	tw.Flush()
+	return cells, nil
+}

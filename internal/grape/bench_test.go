@@ -97,6 +97,17 @@ func BenchmarkGradient2Q(b *testing.B) {
 	benchGradient(b, hamiltonian.TwoQubit(hamiltonian.Config{}), gate.CX, 500, 32)
 }
 
+// BenchmarkGradient3Q prices one objective+gradient pass at the dim-8
+// scale the opt-in 3-qubit grouping policies reach: 40 segments of 8x8
+// propagator chain (the tiled GEMM path in cmat). Must stay 0 allocs/op.
+func BenchmarkGradient3Q(b *testing.B) {
+	sys, err := hamiltonian.ForQubits(3, hamiltonian.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGradient(b, sys, gate.CCX, 2200, 40)
+}
+
 func BenchmarkEvaluate2Q(b *testing.B) {
 	target, err := gate.Unitary(gate.CX, nil)
 	if err != nil {

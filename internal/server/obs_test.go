@@ -427,3 +427,38 @@ func postRaw(t *testing.T, base, qasm string) rawResponse {
 	}
 	return rawResponse{header: resp.Header, body: body}
 }
+
+// TestTrainingObserverGroupSize3 pins the label cell a dim-8 (3-qubit)
+// training observation lands in: the opt-in 3Q policies must show up in
+// the convergence histograms as qubits="3", not fall through to a slow
+// formatting path or get folded into another cell.
+func TestTrainingObserverGroupSize3(t *testing.T) {
+	ob := newObsState(4)
+	ob.trainingObserver(3, 17, 1e-3, false)
+
+	var buf strings.Builder
+	if err := ob.reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, series := range []string{
+		`accqoc_grape_training_iterations_count{qubits="3"} 1`,
+		`accqoc_grape_training_infidelity_count{qubits="3"} 1`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("exposition missing %s", series)
+		}
+	}
+	// No stray cells: the observation must not have touched 1Q/2Q.
+	for _, series := range []string{
+		`accqoc_grape_training_iterations_count{qubits="1"} 1`,
+		`accqoc_grape_training_iterations_count{qubits="2"} 1`,
+	} {
+		if strings.Contains(text, series) {
+			t.Errorf("dim-8 observation leaked into %s", series)
+		}
+	}
+	if qubitsLabel(3) != "3" {
+		t.Fatalf("qubitsLabel(3) = %q", qubitsLabel(3))
+	}
+}

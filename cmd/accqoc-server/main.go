@@ -15,6 +15,8 @@
 //	accqoc-server -calibration-file cal.json                   # SIGHUP re-reads → new epoch
 //	accqoc-server -pprof localhost:6060   # expose net/http/pprof for live profiling
 //	accqoc-server -seed-index=false       # train cache misses cold (A/B baseline)
+//	accqoc-server -job-ttl 1h -job-cap 4096  # async job ledger sizing
+//	accqoc-server -async-jobs=false       # refuse ?async=1 submissions
 //	accqoc-server -log-format json        # structured JSON logs for pipelines
 //	accqoc-server -observability=false    # no /metrics, /debug/requests, or hooks
 //
@@ -79,6 +81,10 @@ func main() {
 	calibrationFile := flag.String("calibration-file", "", "JSON CalibrationUpdate re-read on SIGHUP to open a new calibration epoch for the default device")
 	workers := flag.Int("workers", 0, "concurrent compilations (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "pending-request queue depth (full queue answers 503)")
+	asyncJobs := flag.Bool("async-jobs", true,
+		"serve the async job API: ?async=1 submissions answer 202 with a job ID pollable at /v1/jobs/{id}; false refuses the hint")
+	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "how long finished async jobs stay pollable before eviction")
+	jobCap := flag.Int("job-cap", 1024, "async job store capacity (a store full of live jobs answers 503)")
 	capacity := flag.Int("capacity", 0, "library entry capacity per namespace, LRU-evicted beyond it (0 = unlimited)")
 	shards := flag.Int("shards", 16, "library shard count")
 	maxGates := flag.Int("max-gates", 4096, "per-request gate budget")
@@ -206,6 +212,9 @@ func main() {
 		BootSnapshotForce:    *libForce,
 		Workers:              *workers,
 		QueueDepth:           *queue,
+		DisableAsyncJobs:     !*asyncJobs,
+		JobTTL:               *jobTTL,
+		JobCap:               *jobCap,
 		MaxGates:             *maxGates,
 		DisableSeedIndex:     !*seedIndex,
 		DisableObservability: !*observability,

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"accqoc/internal/jobs"
 	"accqoc/internal/server"
 )
 
@@ -158,6 +159,15 @@ type clientSummary struct {
 	WarmMeanCov   float64 `json:"warm_mean_coverage,omitempty"`
 	Speedup       float64 `json:"cold_warm_speedup,omitempty"`
 
+	// Async-mode breakdown (absent unless -async). In async mode the
+	// wall/warm latencies above are end-to-end submit→done times; these
+	// fields isolate the 202 submit round-trip, i.e. the latency the
+	// routing tier answers with before any training happens.
+	Async            bool    `json:"async,omitempty"`
+	AsyncSubmitP50Ms float64 `json:"async_submit_p50_ms,omitempty"`
+	AsyncSubmitP95Ms float64 `json:"async_submit_p95_ms,omitempty"`
+	AsyncJobsFailed  int     `json:"async_jobs_failed,omitempty"`
+
 	Devices []deviceSummary   `json:"devices,omitempty"`
 	Library libstoreStatsWire `json:"library"`
 	Server  serverStatsWire   `json:"server"`
@@ -191,9 +201,13 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 // prints the server's /v1/library/stats. With circuits set it exercises
 // the whole-program endpoint (POST /v1/circuits/compile) instead, adding
 // the scheduled-pulse-program view: makespan, slot count, coverage. With
-// jsonOut set the human-readable report is replaced by one clientSummary
-// JSON document on stdout.
-func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency int, circuits, jsonOut bool) error {
+// async set every request goes through the async job API — POST
+// ?async=1, collect the 202 job envelope, poll GET /v1/jobs/{id} to a
+// terminal state — so wall times become end-to-end submit→done and the
+// report gains the submit round-trip percentiles. With jsonOut set the
+// human-readable report is replaced by one clientSummary JSON document
+// on stdout.
+func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency int, circuits, async, jsonOut bool) error {
 	var req server.CompileRequest
 	switch {
 	case inPath != "" && workloadSpec != "":
@@ -225,19 +239,115 @@ func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency i
 		idx    int
 		device string
 		wall   time.Duration
+		// submit is the 202 round-trip in -async mode (zero otherwise);
+		// wall then covers submit through the terminal poll.
+		submit time.Duration
 		resp   server.CompileResponse
 		// makespan/slots/sizes carry the schedule view in -circuits mode.
 		makespan float64
 		slots    int
 		sizes    map[int]groupSizeSummary
-		err      error
-		debug    string
+		// jobFailed marks an async job that was accepted but finished in
+		// the failed state (as opposed to a transport/submit error).
+		jobFailed bool
+		err       error
+		debug     string
 	}
 	samples := make([]sample, n)
 
 	endpoint := "/v1/compile"
 	if circuits {
 		endpoint = "/v1/circuits/compile"
+	}
+
+	// decodeResult parses one compile result payload — a sync response
+	// body or an async job's embedded result — into the sample.
+	decodeResult := func(s *sample, data []byte) {
+		if circuits {
+			var cr server.CircuitResponse
+			if derr := json.Unmarshal(data, &cr); derr != nil {
+				s.err = derr
+				return
+			}
+			s.resp = cr.Compile
+			s.makespan = cr.MakespanNs
+			s.slots = len(cr.Schedule)
+			s.sizes = map[int]groupSizeSummary{}
+			for _, sp := range cr.Schedule {
+				g := s.sizes[len(sp.Qubits)]
+				g.Size = len(sp.Qubits)
+				g.Slots++
+				g.TotalDurationNs += sp.DurationNs
+				s.sizes[g.Size] = g
+			}
+			return
+		}
+		if derr := json.Unmarshal(data, &s.resp); derr != nil {
+			s.err = derr
+		}
+	}
+
+	// postAsync drives one request through the job API: submit with
+	// ?async=1, collect the 202 envelope, poll the job to a terminal
+	// state. wall covers submit through the terminal poll; submit holds
+	// the 202 round-trip alone — the routing tier's answer time.
+	postAsync := func(i int, payload []byte) sample {
+		s := sample{idx: i, device: devices[i]}
+		start := time.Now()
+		resp, err := http.Post(baseURL+endpoint+"?async=1", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			s.err = err
+			return s
+		}
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		s.submit = time.Since(start)
+		s.wall = s.submit
+		var acc server.AsyncAccepted
+		switch {
+		case rerr != nil:
+			s.err = rerr
+			return s
+		case resp.StatusCode != http.StatusAccepted:
+			s.err = fmt.Errorf("status %d", resp.StatusCode)
+			s.debug = string(raw)
+			return s
+		default:
+			if derr := json.Unmarshal(raw, &acc); derr != nil {
+				s.err = derr
+				return s
+			}
+		}
+		deadline := time.Now().Add(2 * time.Minute)
+		for {
+			jr, jerr := http.Get(baseURL + acc.Poll)
+			if jerr != nil {
+				s.err = jerr
+				break
+			}
+			var job jobs.Job
+			derr := json.NewDecoder(jr.Body).Decode(&job)
+			jr.Body.Close()
+			switch {
+			case jr.StatusCode != http.StatusOK:
+				s.err = fmt.Errorf("poll %s: status %d", acc.JobID, jr.StatusCode)
+			case derr != nil:
+				s.err = derr
+			case job.State == jobs.StateDone:
+				decodeResult(&s, job.Result)
+			case job.State == jobs.StateFailed:
+				s.jobFailed = true
+				s.err = fmt.Errorf("job %s failed: %s", acc.JobID, job.Error)
+			case time.Now().After(deadline):
+				s.err = fmt.Errorf("job %s: poll deadline exceeded in state %s", acc.JobID, job.State)
+			default:
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+			break
+		}
+		s.wall = time.Since(start)
+		return s
 	}
 
 	// The first request runs alone so the cold-path cost is unambiguous;
@@ -251,39 +361,26 @@ func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency i
 			samples[i] = sample{idx: i, device: devices[i], err: merr}
 			return
 		}
+		if async {
+			samples[i] = postAsync(i, payload)
+			return
+		}
 		start := time.Now()
 		resp, err := http.Post(baseURL+endpoint, "application/json", bytes.NewReader(payload))
 		s := sample{idx: i, device: devices[i], wall: time.Since(start)}
 		if err != nil {
 			s.err = err
 		} else {
-			defer resp.Body.Close()
+			raw, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
 			switch {
+			case rerr != nil:
+				s.err = rerr
 			case resp.StatusCode != http.StatusOK:
-				raw, _ := io.ReadAll(resp.Body)
 				s.err = fmt.Errorf("status %d", resp.StatusCode)
 				s.debug = string(raw)
-			case circuits:
-				var cr server.CircuitResponse
-				if derr := json.NewDecoder(resp.Body).Decode(&cr); derr != nil {
-					s.err = derr
-				} else {
-					s.resp = cr.Compile
-					s.makespan = cr.MakespanNs
-					s.slots = len(cr.Schedule)
-					s.sizes = map[int]groupSizeSummary{}
-					for _, sp := range cr.Schedule {
-						g := s.sizes[len(sp.Qubits)]
-						g.Size = len(sp.Qubits)
-						g.Slots++
-						g.TotalDurationNs += sp.DurationNs
-						s.sizes[g.Size] = g
-					}
-				}
 			default:
-				if derr := json.NewDecoder(resp.Body).Decode(&s.resp); derr != nil {
-					s.err = derr
-				}
+				decodeResult(&s, raw)
 			}
 		}
 		samples[i] = s
@@ -390,6 +487,32 @@ func runClient(baseURL, inPath, workloadSpec, deviceMix string, n, concurrency i
 				fmt.Printf("coverage: cold %.0f%%, warm mean %.0f%% (%d of %d fully covered)\n",
 					100*cold.resp.CoverageRate, 100*covSum/float64(len(warm)), warmServed, len(warm))
 			}
+		}
+	}
+
+	if async {
+		sum.Async = true
+		var submits []time.Duration
+		jobsFailed := 0
+		for _, s := range samples {
+			if s.jobFailed {
+				jobsFailed++
+			}
+			if s.submit > 0 && (s.err == nil || s.jobFailed) {
+				// The submit round-trip completed (202) even if the job
+				// later failed; only transport/reject errors are excluded.
+				submits = append(submits, s.submit)
+			}
+		}
+		sum.AsyncJobsFailed = jobsFailed
+		if len(submits) > 0 {
+			sort.Slice(submits, func(i, j int) bool { return submits[i] < submits[j] })
+			sum.AsyncSubmitP50Ms = ms(percentile(submits, 50))
+			sum.AsyncSubmitP95Ms = ms(percentile(submits, 95))
+		}
+		if !jsonOut {
+			fmt.Printf("async submit: p50 %.2f ms, p95 %.2f ms over %d accepted jobs (%d jobs failed); wall latencies above are submit→done\n",
+				sum.AsyncSubmitP50Ms, sum.AsyncSubmitP95Ms, len(submits), jobsFailed)
 		}
 	}
 

@@ -14,6 +14,7 @@
 //	accqoc -server http://localhost:8080 -workload qft:4 -requests 10
 //	accqoc -server http://localhost:8080 -workload qft:4 -devices melbourne:0.7,linear5:0.3
 //	accqoc -server http://localhost:8080 -workload qft:4 -circuits     # scheduled pulse programs
+//	accqoc -server http://localhost:8080 -workload qft:4 -async        # async job API: 202 + poll
 package main
 
 import (
@@ -54,10 +55,12 @@ func main() {
 		"loadgen against POST /v1/circuits/compile: whole-program scheduled pulse programs instead of per-group compiles")
 	jsonOut := flag.Bool("json", false,
 		"-server mode: emit one machine-readable JSON summary on stdout instead of the text report")
+	asyncMode := flag.Bool("async", false,
+		"-server mode: submit through the async job API (?async=1) and poll /v1/jobs/{id} to completion")
 	flag.Parse()
 
 	if *serverURL != "" {
-		if err := runClient(*serverURL, *in, *workloadSpec, *deviceMix, *requests, *concurrency, *circuits, *jsonOut); err != nil {
+		if err := runClient(*serverURL, *in, *workloadSpec, *deviceMix, *requests, *concurrency, *circuits, *asyncMode, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return

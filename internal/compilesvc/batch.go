@@ -1,0 +1,267 @@
+package compilesvc
+
+// Async request batching. Submissions against the same (device, epoch)
+// namespace that arrive within one BatchWindow flush to the pool as a
+// single task and share one resolveGroups pass: their unique groups are
+// unioned, resolved once (coverage plan, MST ordering, singleflight
+// training), and each job's response is then rebuilt from the per-key
+// outcome tally plus its own occurrence counts. Batching lives in the
+// training tier, not the HTTP layer, because only the tier that plans
+// groups can know that two circuits share work — the routing tier sees
+// opaque programs.
+//
+// Counter semantics under sharing: when two batched jobs reference the
+// same cold group, the one shared training's iterations (and warm-seed
+// credit) appear in BOTH responses — each job did wait on that GRAPE run,
+// exactly like two concurrent sync requests where one trains and one
+// joins, except the batch cannot tell who "owned" the training. The
+// store- and pool-level counters (trainings, warm_seeded) still count it
+// once.
+
+import (
+	"sync"
+	"time"
+
+	"accqoc"
+	"accqoc/internal/devreg"
+	"accqoc/internal/grouping"
+	"accqoc/internal/latency"
+	"accqoc/internal/libstore"
+	"accqoc/internal/obs"
+)
+
+// asyncTask is one submitted async request plus its lifecycle callbacks.
+type asyncTask struct {
+	req   *Request
+	start func() bool
+	done  func(*Result, error)
+	// begin stamps submission time: an async job's CompileMillis covers
+	// submit → completion, batch window included.
+	begin time.Time
+	// waitSpan times submit → batch flush; queueSpan times flush →
+	// worker pickup.
+	waitSpan  *obs.Span
+	queueSpan *obs.Span
+}
+
+func (at *asyncTask) fail(err error) { at.done(nil, err) }
+
+// batcher groups async submissions by namespace until their window
+// elapses, then flushes each group to the pool as one task.
+type batcher struct {
+	pool   *Pool
+	window time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	groups map[*devreg.Namespace]*batchGroup
+}
+
+type batchGroup struct {
+	tasks []*asyncTask
+	timer *time.Timer
+}
+
+func newBatcher(p *Pool, window time.Duration) *batcher {
+	return &batcher{pool: p, window: window, groups: map[*devreg.Namespace]*batchGroup{}}
+}
+
+// add admits one async submission, arming the namespace's flush timer on
+// first use. The namespace pointer is the batch key: one live namespace
+// per (device, epoch), so requests across devices or epochs never batch.
+func (b *batcher) add(req *Request, start func() bool, done func(*Result, error)) error {
+	at := &asyncTask{req: req, start: start, done: done, begin: time.Now()}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	at.waitSpan = req.Trace.StartSpan("batch_wait")
+	g := b.groups[req.NS]
+	if g == nil {
+		g = &batchGroup{}
+		b.groups[req.NS] = g
+		ns := req.NS
+		g.timer = time.AfterFunc(b.window, func() { b.flush(ns, g) })
+	}
+	g.tasks = append(g.tasks, at)
+	b.mu.Unlock()
+	return nil
+}
+
+// flush moves one group out of the batcher and onto the pool, retrying
+// through transient queue-full (the jobs were already accepted with 202;
+// shedding load is the job store's admission control, not the queue's).
+func (b *batcher) flush(ns *devreg.Namespace, g *batchGroup) {
+	b.mu.Lock()
+	if b.groups[ns] != g {
+		// Already flushed or swept by close.
+		b.mu.Unlock()
+		return
+	}
+	delete(b.groups, ns)
+	tasks := g.tasks
+	b.mu.Unlock()
+
+	t := &task{batch: tasks}
+	for _, at := range tasks {
+		at.waitSpan.End()
+		at.queueSpan = at.req.Trace.StartSpan("queue")
+	}
+	for {
+		err := b.pool.enqueue(t)
+		if err == nil {
+			return
+		}
+		if err == ErrClosed {
+			t.fail(ErrClosed)
+			return
+		}
+		select {
+		case <-b.pool.quit:
+			t.fail(ErrClosed)
+			return
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// close fails every unflushed submission with ErrClosed. Groups whose
+// timer already entered flush are not in the map anymore and are handled
+// by the flush/drain path.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	groups := b.groups
+	b.groups = map[*devreg.Namespace]*batchGroup{}
+	b.mu.Unlock()
+	for _, g := range groups {
+		g.timer.Stop()
+		for _, at := range g.tasks {
+			at.fail(ErrClosed)
+		}
+	}
+}
+
+// runBatch executes one flushed batch on a worker: veto canceled jobs,
+// plan each survivor, resolve the union of their unique groups in one
+// shared pass, then rebuild each job's counters from the outcome tally
+// and finish its own latency/schedule tail.
+func (p *Pool) runBatch(tasks []*asyncTask) {
+	live := tasks[:0:0]
+	for _, at := range tasks {
+		// A vetoed task (canceled before pickup) gets no callbacks; the
+		// submitter's start hook owns its cleanup.
+		if at.start == nil || at.start() {
+			live = append(live, at)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	// All tasks of a batch share one namespace by construction.
+	ns := live[0].req.NS
+	dev := ns.Comp.Options().Device
+
+	type item struct {
+		at   *asyncTask
+		plan *accqoc.GroupPlan
+		resp *CompileResponse
+	}
+	var items []*item
+	seen := map[string]bool{}
+	var union []*grouping.UniqueGroup
+	for _, at := range live {
+		sp := at.req.Trace.StartSpan("prepare")
+		plan, err := ns.Plan(at.req.Prog)
+		if err != nil {
+			at.done(nil, err)
+			continue
+		}
+		sp.End()
+		items = append(items, &item{at: at, plan: plan, resp: &CompileResponse{
+			Qubits:      at.req.Prog.NumQubits,
+			Gates:       at.req.Prog.GateCount(),
+			Epoch:       ns.Epoch,
+			TotalGroups: len(plan.Prepared.Grouping.Groups),
+		}})
+		for _, u := range plan.Unique {
+			if !seen[u.Key] {
+				seen[u.Key] = true
+				union = append(union, u)
+			}
+		}
+	}
+	if len(items) == 0 {
+		return
+	}
+
+	// One shared resolve pass over the union. The scratch response soaks
+	// up the pass-level counters (discarded); the tally records per-key
+	// outcomes for the per-job rebuild below. Plan/train spans land on
+	// the first job's trace — it is the batch leader.
+	scratch := &CompileResponse{}
+	tally := map[string]*keyOutcome{}
+	entries := p.resolveGroups(ns, scratch, union, items[0].at.req.Trace, tally)
+
+	for _, it := range items {
+		resp := it.resp
+		for _, u := range it.plan.Unique {
+			ko := tally[u.Key]
+			if ko == nil {
+				continue // unreachable: every unique key was in the union
+			}
+			if ko.outcome == libstore.OutcomeHit {
+				resp.CoveredGroups += u.Count
+				continue
+			}
+			resp.UncoveredUnique++
+			if ko.failed {
+				resp.FailedGroups++
+				continue
+			}
+			if ko.outcome == libstore.OutcomeTrained {
+				resp.TrainingIterations += ko.iterations
+				if ko.seeded {
+					resp.WarmSeeded++
+					resp.seedDistanceSum += ko.seedDist
+				}
+			}
+		}
+		if resp.WarmSeeded > 0 {
+			resp.SeedDistance = resp.seedDistanceSum / float64(resp.WarmSeeded)
+		}
+		if resp.TotalGroups > 0 {
+			resp.CoverageRate = float64(resp.CoveredGroups) / float64(resp.TotalGroups)
+		} else {
+			resp.CoverageRate = 1
+		}
+		resp.WarmServed = resp.UncoveredUnique == 0
+
+		if it.at.req.Circuit {
+			circ, err := assembleCircuit(it.plan, ns, resp, entries, it.at.req.Waveforms, it.at.req.Trace, it.at.begin)
+			if err != nil {
+				it.at.done(nil, err)
+				continue
+			}
+			it.at.done(&Result{Circ: circ}, nil)
+			continue
+		}
+		gr := it.plan.Prepared.Grouping
+		keys := it.plan.Keys
+		sp := it.at.req.Trace.StartSpan("latency")
+		overall, err := latency.OverallGroups(gr, func(i int) (float64, error) {
+			if e, ok := entries[keys[i]]; ok {
+				return e.LatencyNs, nil
+			}
+			return accqoc.GateFallbackNs(gr.Groups[i], dev.Calibration), nil
+		})
+		if err != nil {
+			it.at.done(nil, err)
+			continue
+		}
+		finalizeResponse(resp, it.plan.Prepared.Physical, dev, overall, it.at.begin)
+		sp.End()
+		it.at.done(&Result{Resp: resp}, nil)
+	}
+}

@@ -1,0 +1,308 @@
+// Package compilesvc is the training tier of the serving stack: the
+// plan/execute compilation core (coverage planning, MST-ordered
+// warm-started training through the namespace store's singleflight,
+// Algorithm 3 schedule assembly) behind its own bounded worker pool.
+//
+// The routing tier (internal/server) speaks only the CompileService
+// interface: synchronous requests block on Do, asynchronous jobs enter
+// through Submit — where requests against the same namespace are batched
+// for a shared resolveGroups pass — and calibration rolls feed one item
+// at a time through Recompile. Queue depth, in-flight work and the
+// warm-seeding counter are read back through the same interface, so the
+// HTTP layer never touches pool internals; the seam is exactly what a
+// later multi-process split (consistent-hashed training nodes) needs.
+package compilesvc
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accqoc/internal/devreg"
+)
+
+// Queue admission errors. The routing tier maps both to 503 (with a
+// Retry-After hint); their messages are part of the served wire format.
+var (
+	// ErrQueueFull reports a full compile queue.
+	ErrQueueFull = errors.New("compilation queue full")
+	// ErrClosed reports a service that is shutting down (or has shut
+	// down); it also answers tasks swept out of the queue by Close.
+	ErrClosed = errors.New("server shutting down")
+)
+
+// CompileService is the seam between the routing tier and the training
+// tier. Implementations must be safe for concurrent use from handler
+// goroutines, roll drivers, and shutdown paths.
+type CompileService interface {
+	// Do runs one request synchronously: enqueue, wait for a worker, and
+	// return the finished result. It fails fast with ErrQueueFull or
+	// ErrClosed before any work happens.
+	Do(req *Request) (*Result, error)
+
+	// Submit enqueues one request asynchronously. Concurrent submissions
+	// against the same namespace are batched within the configured window
+	// and resolved in one shared resolveGroups pass. At worker pickup,
+	// start is invoked first: returning false vetoes the request (it was
+	// canceled) and NO other callback runs — cleanup on veto belongs to
+	// start. Otherwise done is invoked exactly once with the result or
+	// error (ErrClosed when the service shut down before the work ran).
+	// Submit itself returns ErrClosed when the service is already
+	// closing; then neither callback runs.
+	Submit(req *Request, start func() bool, done func(*Result, error)) error
+
+	// Recompile runs one cross-epoch recompilation item on the pool and
+	// blocks until it is processed (ErrQueueFull when the pool is busy —
+	// request traffic has priority; ErrClosed during shutdown).
+	Recompile(roll *devreg.Roll, it *devreg.RecompItem) error
+
+	// QueueLen and QueueCap report the compile queue's depth and bound;
+	// Workers the pool size; InFlight the tasks currently executing.
+	QueueLen() int
+	QueueCap() int
+	Workers() int
+	InFlight() int
+
+	// WarmSeeded totals trainings (serving and roll paths alike) that
+	// started from a similarity-admitted seed.
+	WarmSeeded() int64
+
+	// Close drains queued work, answers stragglers with ErrClosed, and
+	// stops the workers. Pending async batches that never reached a
+	// worker fail their done callbacks with ErrClosed.
+	Close()
+}
+
+// Config assembles a Pool.
+type Config struct {
+	// Workers bounds concurrent compilations. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds pending tasks beyond the running ones; a full
+	// queue answers ErrQueueFull. Default 64.
+	QueueDepth int
+	// BatchWindow is how long an async submission waits for same-
+	// namespace company before its batch is flushed to the pool.
+	// Default 2ms.
+	BatchWindow time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	return c
+}
+
+// task is one unit of worker-pool work: a synchronous compile request, a
+// flushed async batch, or one recompilation item of a calibration roll.
+type task struct {
+	// req is set for synchronous tasks.
+	req *Request
+	// batch is set for flushed async batches (one shared resolve pass).
+	batch []*asyncTask
+	// recomp/roll are set for cross-epoch recompilation items.
+	recomp *devreg.RecompItem
+	roll   *devreg.Roll
+	// done answers synchronous and recomp tasks; nil for batches (their
+	// asyncTasks carry per-job callbacks).
+	done chan taskResult
+}
+
+type taskResult struct {
+	res *Result
+	err error
+}
+
+// Pool is the worker-pool CompileService.
+type Pool struct {
+	cfg   Config
+	tasks chan *task
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	batcher *batcher
+
+	inFlight   atomic.Int64
+	warmSeeded atomic.Int64
+
+	// closeMu orders enqueues against Close: an enqueue holds the read
+	// lock, so once Close holds the write lock and sets closed, every
+	// queued task predates the quit signal and the worker drain loop (or
+	// Close's final sweep) is guaranteed to answer it.
+	closeMu   sync.RWMutex
+	closed    bool
+	closeOnce sync.Once
+}
+
+var _ CompileService = (*Pool)(nil)
+
+// New builds a pool and starts its workers.
+func New(cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:   cfg,
+		tasks: make(chan *task, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+	}
+	p.batcher = newBatcher(p, cfg.BatchWindow)
+	for i := 0; i < cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// enqueue submits a task unless the pool is closed or the queue is full.
+func (p *Pool) enqueue(t *task) error {
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.tasks <- t:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	run := func(t *task) {
+		p.inFlight.Add(1)
+		defer p.inFlight.Add(-1)
+		switch {
+		case t.recomp != nil:
+			p.recompileOne(t.roll, t.recomp)
+			t.done <- taskResult{}
+		case t.batch != nil:
+			p.runBatch(t.batch)
+		case t.req.Circuit:
+			circ, err := p.compileCircuit(t.req.Prog, t.req.NS, t.req.Waveforms, t.req.Trace)
+			t.done <- taskResult{res: &Result{Circ: circ}, err: err}
+		default:
+			resp, err := p.compile(t.req.Prog, t.req.NS, t.req.Trace)
+			t.done <- taskResult{res: &Result{Resp: resp}, err: err}
+		}
+	}
+	for {
+		select {
+		case t := <-p.tasks:
+			t.endQueueSpans()
+			run(t)
+		case <-p.quit:
+			// Drain whatever is already queued so no caller hangs.
+			for {
+				select {
+				case t := <-p.tasks:
+					t.endQueueSpans()
+					run(t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// endQueueSpans closes the queue-wait spans at worker pickup.
+func (t *task) endQueueSpans() {
+	if t.batch != nil {
+		for _, at := range t.batch {
+			at.queueSpan.End()
+		}
+		return
+	}
+	if t.req != nil {
+		t.req.queueSpan.End()
+	}
+}
+
+// Do runs one request synchronously through the pool.
+func (p *Pool) Do(req *Request) (*Result, error) {
+	t := &task{req: req, done: make(chan taskResult, 1)}
+	req.queueSpan = req.Trace.StartSpan("queue")
+	if err := p.enqueue(t); err != nil {
+		req.queueSpan = nil // dropped unended: rejected before queuing
+		return nil, err
+	}
+	// Wait for the worker even if the caller's client goes away: the
+	// training is already paid for and warms the shared library.
+	r := <-t.done
+	return r.res, r.err
+}
+
+// Submit enqueues one request for asynchronous, batched execution.
+func (p *Pool) Submit(req *Request, start func() bool, done func(*Result, error)) error {
+	return p.batcher.add(req, start, done)
+}
+
+// Recompile runs one roll item on the pool, blocking until processed.
+func (p *Pool) Recompile(roll *devreg.Roll, it *devreg.RecompItem) error {
+	t := &task{recomp: it, roll: roll, done: make(chan taskResult, 1)}
+	if err := p.enqueue(t); err != nil {
+		return err
+	}
+	r := <-t.done
+	return r.err
+}
+
+// QueueLen reports tasks waiting in the queue (not yet picked up).
+func (p *Pool) QueueLen() int { return len(p.tasks) }
+
+// QueueCap reports the queue bound.
+func (p *Pool) QueueCap() int { return p.cfg.QueueDepth }
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.cfg.Workers }
+
+// InFlight reports tasks currently executing on a worker.
+func (p *Pool) InFlight() int { return int(p.inFlight.Load()) }
+
+// WarmSeeded totals seed-admitted trainings across the pool's lifetime.
+func (p *Pool) WarmSeeded() int64 { return p.warmSeeded.Load() }
+
+// Close stops the pool after draining queued tasks. Unflushed async
+// batches and tasks swept out of the queue are answered with ErrClosed.
+func (p *Pool) Close() {
+	p.closeMu.Lock()
+	p.closed = true
+	p.closeMu.Unlock()
+	// Fail async submissions still waiting in the batcher: their batch
+	// would otherwise spin on a closed queue. Flushed batches already in
+	// the channel are drained (and executed) by the workers below.
+	p.batcher.close()
+	p.closeOnce.Do(func() { close(p.quit) })
+	p.wg.Wait()
+	// Fail anything that slipped into the queue between the workers'
+	// drain sweep and their exit (possible only for tasks enqueued before
+	// closed was set, so this sweep is the last).
+	for {
+		select {
+		case t := <-p.tasks:
+			t.fail(ErrClosed)
+		default:
+			return
+		}
+	}
+}
+
+// fail answers a swept task with err, whatever its kind.
+func (t *task) fail(err error) {
+	if t.batch != nil {
+		for _, at := range t.batch {
+			at.fail(err)
+		}
+		return
+	}
+	t.done <- taskResult{err: err}
+}

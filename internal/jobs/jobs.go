@@ -1,0 +1,312 @@
+// Package jobs is the routing tier's async job ledger: a bounded
+// in-memory store of compile jobs submitted through the async API
+// (POST /v1/compile?async=1 and /v1/circuits/compile?async=1), polled on
+// GET /v1/jobs/{id} and canceled/reaped on DELETE /v1/jobs/{id}.
+//
+// A job moves queued → running → done|failed; queued jobs can additionally
+// be canceled (→ failed, error "canceled") or bulk-failed at shutdown.
+// Terminal jobs (done/failed) are TTL-evicted — the store is a ledger of
+// recent work, not a durable queue — and the store is capacity-bounded:
+// when, after evicting every expired terminal job, the store is still
+// full, Create refuses and the caller answers 503 (the async analogue of
+// the compile queue's admission control).
+//
+// The store holds no goroutines and never blocks: every method is one
+// mutex-guarded state transition, so it is safe from handler goroutines,
+// worker-pool callbacks, and shutdown paths concurrently.
+package jobs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is one phase of the job lifecycle.
+type State string
+
+// The job lifecycle: queued → running → done | failed. Cancellation and
+// shutdown move queued jobs directly to failed.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+func (s State) terminal() bool { return s == StateDone || s == StateFailed }
+
+// Job is the wire representation served by GET /v1/jobs/{id}. All
+// timestamps are Unix milliseconds.
+type Job struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Device string `json:"device,omitempty"`
+	State  State  `json:"state"`
+	// Error carries the failure reason for failed jobs ("canceled" for
+	// client cancellations, "server shutting down" for shutdown fails).
+	Error string `json:"error,omitempty"`
+	// Result is the completed compile/circuit response, present only on
+	// done jobs.
+	Result         json.RawMessage `json:"result,omitempty"`
+	CreatedUnixMs  int64           `json:"created_unix_ms"`
+	StartedUnixMs  int64           `json:"started_unix_ms,omitempty"`
+	FinishedUnixMs int64           `json:"finished_unix_ms,omitempty"`
+}
+
+// Counts is a point-in-time census of the store by state (the job-state
+// gauges behind /metrics and the stats/health endpoints).
+type Counts struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+}
+
+// ErrFull is returned by Create when the store is at capacity and no
+// expired terminal job can be evicted to make room.
+var ErrFull = errors.New("job store full")
+
+type entry struct {
+	job      Job
+	finished time.Time // eviction clock for terminal jobs
+}
+
+// Store is the bounded, TTL-evicting job ledger.
+type Store struct {
+	mu   sync.Mutex
+	jobs map[string]*entry
+	cap  int
+	ttl  time.Duration
+	// now is the store clock, swappable in tests.
+	now func() time.Time
+}
+
+// NewStore builds a store holding at most cap jobs, evicting terminal
+// jobs ttl after they finish. cap <= 0 defaults to 1024; ttl <= 0
+// defaults to 15 minutes.
+func NewStore(cap int, ttl time.Duration) *Store {
+	if cap <= 0 {
+		cap = 1024
+	}
+	if ttl <= 0 {
+		ttl = 15 * time.Minute
+	}
+	return &Store{jobs: make(map[string]*entry), cap: cap, ttl: ttl, now: time.Now}
+}
+
+// newID returns a fresh job identifier ("job-" + 16 hex chars).
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; ids only need to be
+		// unique within one process lifetime, so fall back loudly-unique.
+		panic(fmt.Sprintf("jobs: crypto/rand failed: %v", err))
+	}
+	return "job-" + hex.EncodeToString(b[:])
+}
+
+// evictExpiredLocked drops terminal jobs past their TTL. Callers hold mu.
+func (s *Store) evictExpiredLocked(now time.Time) {
+	for id, e := range s.jobs {
+		if e.job.State.terminal() && now.Sub(e.finished) >= s.ttl {
+			delete(s.jobs, id)
+		}
+	}
+}
+
+// evictOneTerminalLocked drops the oldest-finished terminal job to make
+// room, returning false when every job is still live. Callers hold mu.
+func (s *Store) evictOneTerminalLocked() bool {
+	var oldest string
+	var oldestAt time.Time
+	for id, e := range s.jobs {
+		if !e.job.State.terminal() {
+			continue
+		}
+		if oldest == "" || e.finished.Before(oldestAt) {
+			oldest, oldestAt = id, e.finished
+		}
+	}
+	if oldest == "" {
+		return false
+	}
+	delete(s.jobs, oldest)
+	return true
+}
+
+// Create admits a new queued job, evicting expired (then, under pressure,
+// the oldest) terminal jobs to stay within capacity. It returns ErrFull
+// when the store is saturated with live jobs.
+func (s *Store) Create(kind, device string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	s.evictExpiredLocked(now)
+	if len(s.jobs) >= s.cap && !s.evictOneTerminalLocked() {
+		return Job{}, ErrFull
+	}
+	j := Job{
+		ID:            newID(),
+		Kind:          kind,
+		Device:        device,
+		State:         StateQueued,
+		CreatedUnixMs: now.UnixMilli(),
+	}
+	s.jobs[j.ID] = &entry{job: j}
+	return j, nil
+}
+
+// Start transitions a queued job to running. It returns false when the
+// job is missing or no longer queued (canceled, already failed) — the
+// worker's signal to skip the work.
+func (s *Store) Start(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.jobs[id]
+	if !ok || e.job.State != StateQueued {
+		return false
+	}
+	e.job.State = StateRunning
+	e.job.StartedUnixMs = s.now().UnixMilli()
+	return true
+}
+
+// Finish completes a job with its result (marshaled to JSON). A job that
+// is already terminal is left untouched.
+func (s *Store) Finish(id string, result any) error {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		s.Fail(id, fmt.Sprintf("result marshal failed: %v", err))
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.jobs[id]
+	if !ok || e.job.State.terminal() {
+		return nil
+	}
+	now := s.now()
+	e.job.State = StateDone
+	e.job.Result = raw
+	e.job.FinishedUnixMs = now.UnixMilli()
+	e.finished = now
+	return nil
+}
+
+// Fail moves a queued or running job to failed with the given reason.
+// Terminal jobs are left untouched (a cancellation that raced the worker
+// keeps its "canceled" status).
+func (s *Store) Fail(id, reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failLocked(id, reason)
+}
+
+func (s *Store) failLocked(id, reason string) {
+	e, ok := s.jobs[id]
+	if !ok || e.job.State.terminal() {
+		return
+	}
+	now := s.now()
+	e.job.State = StateFailed
+	e.job.Error = reason
+	e.job.FinishedUnixMs = now.UnixMilli()
+	e.finished = now
+}
+
+// Cancel fails a queued job with error "canceled". It returns false when
+// the job is missing or already past queued — running work is never
+// interrupted (its training warms the shared library either way).
+func (s *Store) Cancel(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.jobs[id]
+	if !ok || e.job.State != StateQueued {
+		return false
+	}
+	s.failLocked(id, "canceled")
+	return true
+}
+
+// Get returns a copy of the job. The copy's Result aliases the stored
+// raw JSON, which is never mutated after Finish.
+func (s *Store) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictExpiredLocked(s.now())
+	e, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return e.job, true
+}
+
+// Delete removes a terminal job (the reap half of DELETE /v1/jobs/{id}).
+// It returns false when the job is missing or still live.
+func (s *Store) Delete(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.jobs[id]
+	if !ok || !e.job.State.terminal() {
+		return false
+	}
+	delete(s.jobs, id)
+	return true
+}
+
+// Discard removes a job unconditionally — for the submit-error path,
+// where the job record was created but its ID never reached the client.
+func (s *Store) Discard(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+}
+
+// FailQueued fails every queued job with the given reason — the shutdown
+// sweep that keeps Close from stranding jobs in "queued" forever. It
+// returns how many jobs it failed.
+func (s *Store) FailQueued(reason string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, e := range s.jobs {
+		if e.job.State == StateQueued {
+			s.failLocked(id, reason)
+			n++
+		}
+	}
+	return n
+}
+
+// Counts censuses the store by state.
+func (s *Store) Counts() Counts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictExpiredLocked(s.now())
+	var c Counts
+	for _, e := range s.jobs {
+		switch e.job.State {
+		case StateQueued:
+			c.Queued++
+		case StateRunning:
+			c.Running++
+		case StateDone:
+			c.Done++
+		case StateFailed:
+			c.Failed++
+		}
+	}
+	return c
+}
+
+// Len reports the number of jobs currently held (all states).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}

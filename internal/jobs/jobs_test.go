@@ -1,0 +1,175 @@
+package jobs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fakeClock pins the store's clock for deterministic TTL tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestStore(cap int, ttl time.Duration) (*Store, *fakeClock) {
+	s := NewStore(cap, ttl)
+	c := &fakeClock{t: time.Unix(1700000000, 0)}
+	s.now = c.now
+	return s, c
+}
+
+func TestJobLifecycle(t *testing.T) {
+	s, _ := newTestStore(8, time.Minute)
+	j, err := s.Create("compile", "melbourne")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateQueued || j.ID == "" || j.CreatedUnixMs == 0 {
+		t.Fatalf("created job %+v", j)
+	}
+	if !s.Start(j.ID) {
+		t.Fatal("Start refused a queued job")
+	}
+	if s.Start(j.ID) {
+		t.Fatal("Start accepted a running job")
+	}
+	if err := s.Finish(j.ID, map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(j.ID)
+	if !ok || got.State != StateDone || got.FinishedUnixMs == 0 {
+		t.Fatalf("finished job %+v ok=%v", got, ok)
+	}
+	var res map[string]int
+	if err := json.Unmarshal(got.Result, &res); err != nil || res["x"] != 1 {
+		t.Fatalf("result %s err %v", got.Result, err)
+	}
+	// Terminal jobs are immutable: a late Fail must not clobber done.
+	s.Fail(j.ID, "late")
+	if got, _ := s.Get(j.ID); got.State != StateDone {
+		t.Fatalf("Fail overwrote terminal state: %+v", got)
+	}
+	if !s.Delete(j.ID) {
+		t.Fatal("Delete refused a terminal job")
+	}
+	if _, ok := s.Get(j.ID); ok {
+		t.Fatal("job survived Delete")
+	}
+}
+
+func TestCancelOnlyQueued(t *testing.T) {
+	s, _ := newTestStore(8, time.Minute)
+	j, _ := s.Create("compile", "")
+	if !s.Cancel(j.ID) {
+		t.Fatal("Cancel refused a queued job")
+	}
+	got, _ := s.Get(j.ID)
+	if got.State != StateFailed || got.Error != "canceled" {
+		t.Fatalf("canceled job %+v", got)
+	}
+	// A worker that raced the cancel must see Start refuse.
+	if s.Start(j.ID) {
+		t.Fatal("Start accepted a canceled job")
+	}
+
+	r, _ := s.Create("compile", "")
+	s.Start(r.ID)
+	if s.Cancel(r.ID) {
+		t.Fatal("Cancel interrupted a running job")
+	}
+	if s.Delete(r.ID) {
+		t.Fatal("Delete removed a live job")
+	}
+}
+
+func TestTTLEviction(t *testing.T) {
+	s, clock := newTestStore(8, time.Minute)
+	j, _ := s.Create("compile", "")
+	s.Start(j.ID)
+	if err := s.Finish(j.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(59 * time.Second)
+	if _, ok := s.Get(j.ID); !ok {
+		t.Fatal("terminal job evicted before TTL")
+	}
+	clock.advance(2 * time.Second)
+	if _, ok := s.Get(j.ID); ok {
+		t.Fatal("terminal job survived TTL")
+	}
+	// Live jobs never TTL out.
+	live, _ := s.Create("compile", "")
+	clock.advance(time.Hour)
+	if _, ok := s.Get(live.ID); !ok {
+		t.Fatal("queued job TTL-evicted")
+	}
+}
+
+func TestCapacityRefusesWhenAllLive(t *testing.T) {
+	s, _ := newTestStore(2, time.Minute)
+	a, _ := s.Create("compile", "")
+	if _, err := s.Create("compile", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("compile", ""); err != ErrFull {
+		t.Fatalf("Create at capacity: err %v, want ErrFull", err)
+	}
+	// Finishing one makes room: the oldest terminal job is evicted even
+	// inside its TTL when the store is saturated.
+	s.Start(a.ID)
+	s.Finish(a.ID, 1)
+	c, err := s.Create("compile", "")
+	if err != nil {
+		t.Fatalf("Create after finish: %v", err)
+	}
+	if _, ok := s.Get(a.ID); ok {
+		t.Fatal("terminal job not evicted under capacity pressure")
+	}
+	if _, ok := s.Get(c.ID); !ok {
+		t.Fatal("new job missing")
+	}
+}
+
+func TestFailQueuedSweep(t *testing.T) {
+	s, _ := newTestStore(8, time.Minute)
+	q1, _ := s.Create("compile", "")
+	q2, _ := s.Create("circuit", "")
+	r, _ := s.Create("compile", "")
+	s.Start(r.ID)
+	d, _ := s.Create("compile", "")
+	s.Start(d.ID)
+	s.Finish(d.ID, 1)
+
+	if n := s.FailQueued("server shutting down"); n != 2 {
+		t.Fatalf("FailQueued swept %d jobs, want 2", n)
+	}
+	for _, id := range []string{q1.ID, q2.ID} {
+		got, _ := s.Get(id)
+		if got.State != StateFailed || got.Error != "server shutting down" {
+			t.Fatalf("queued job after sweep: %+v", got)
+		}
+	}
+	if got, _ := s.Get(r.ID); got.State != StateRunning {
+		t.Fatalf("running job swept: %+v", got)
+	}
+	if got, _ := s.Get(d.ID); got.State != StateDone {
+		t.Fatalf("done job swept: %+v", got)
+	}
+	c := s.Counts()
+	if c.Queued != 0 || c.Running != 1 || c.Done != 1 || c.Failed != 2 {
+		t.Fatalf("counts after sweep: %+v", c)
+	}
+}
+
+func TestCountsAndDiscard(t *testing.T) {
+	s, _ := newTestStore(8, time.Minute)
+	j, _ := s.Create("compile", "")
+	if c := s.Counts(); c.Queued != 1 {
+		t.Fatalf("counts %+v", c)
+	}
+	s.Discard(j.ID)
+	if s.Len() != 0 {
+		t.Fatalf("Len %d after Discard", s.Len())
+	}
+}

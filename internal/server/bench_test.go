@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"accqoc/internal/circuit"
+	"accqoc/internal/compilesvc"
 	"accqoc/internal/devreg"
 	"accqoc/internal/precompile"
 	"accqoc/internal/qasm"
@@ -40,15 +41,15 @@ func benchServe(b *testing.B, progA, progB string, disable bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := New(Config{Compile: fastOpts(), Workers: 1, DisableSeedIndex: disable})
-		if _, err := s.compile(pa, s.defaultNS(), nil); err != nil {
+		if _, err := s.svc.Do(&compilesvc.Request{Prog: pa, NS: s.defaultNS()}); err != nil {
 			b.Fatal(err)
 		}
-		resp, err := s.compile(pb, s.defaultNS(), nil)
+		res, err := s.svc.Do(&compilesvc.Request{Prog: pb, NS: s.defaultNS()})
 		if err != nil {
 			b.Fatal(err)
 		}
-		iters += int64(resp.TrainingIterations)
-		seeded += int64(resp.WarmSeeded)
+		iters += int64(res.Resp.TrainingIterations)
+		seeded += int64(res.Resp.WarmSeeded)
 		s.Close()
 	}
 	b.StopTimer()
@@ -91,7 +92,7 @@ func benchEpochRoll(b *testing.B, warm bool) {
 	for i := 0; i < b.N; i++ {
 		s := New(Config{Compile: opts, Workers: 1})
 		for _, prog := range []*circuit.Circuit{pa, pc} {
-			if _, err := s.compile(prog, s.defaultNS(), nil); err != nil {
+			if _, err := s.svc.Do(&compilesvc.Request{Prog: prog, NS: s.defaultNS()}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -104,7 +105,9 @@ func benchEpochRoll(b *testing.B, warm bool) {
 		}
 		if warm {
 			for j := range roll.Plan {
-				s.recompileOne(roll, &roll.Plan[j])
+				if rerr := s.svc.Recompile(roll, &roll.Plan[j]); rerr != nil {
+					b.Fatal(rerr)
+				}
 			}
 			st := roll.Status()
 			// The acceptance invariant: the warm path seeds every

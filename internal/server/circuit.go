@@ -1,31 +1,21 @@
 package server
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"time"
 
-	"accqoc"
-	"accqoc/internal/circuit"
-	"accqoc/internal/devreg"
-	"accqoc/internal/obs"
-	"accqoc/internal/precompile"
-	"accqoc/internal/pulse"
+	"accqoc/internal/compilesvc"
 )
 
 // This file is the circuit-level serving surface: POST /v1/circuits/compile
-// accepts a whole QASM program (or workload spec), runs the full AccQOC
-// pipeline — Prepare, coverage/cold partition, MST-warm-started training on
-// the worker pool, Algorithm 3 scheduling — inside the request's
-// (device, epoch) namespace, and returns the scheduled pulse program a
-// control stack would hand to the waveform generators. Uncovered groups
-// shared by concurrent circuits coalesce through the same singleflight the
-// per-group path uses, so one hot group trains exactly once across all
-// in-flight circuits, and every response is checked against the schedule
-// invariants (accqoc.Schedule.Validate) before it leaves the server.
+// accepts a whole QASM program (or workload spec) and returns the scheduled
+// pulse program a control stack would hand to the waveform generators. The
+// pipeline itself — Prepare, coverage/cold partition, MST-warm-started
+// training, Algorithm 3 scheduling, conformance validation — lives in the
+// training tier (internal/compilesvc); this handler ingests, routes, and
+// writes the response.
 
 // CircuitRequest is the POST /v1/circuits/compile body: the compile
 // request fields (exactly one of qasm/workload, optional device routing)
@@ -38,135 +28,12 @@ type CircuitRequest struct {
 	IncludeWaveforms bool `json:"include_waveforms,omitempty"`
 }
 
-// ScheduledPulseWire is one slot of the scheduled pulse program.
-type ScheduledPulseWire struct {
-	// Group indexes the program's gate groups in grouping order.
-	Group int `json:"group"`
-	// Qubits are the physical qubits the slot drives.
-	Qubits []int `json:"qubits"`
-	// StartNs/DurationNs place the slot on the program timeline (ASAP
-	// start under Algorithm 3).
-	StartNs    float64 `json:"start_ns"`
-	DurationNs float64 `json:"duration_ns"`
-	// Waveform is the content address of the library pulse driving this
-	// slot; empty for groups that failed to train and execute gate-based.
-	Waveform string `json:"waveform,omitempty"`
-	// Mirrored marks slots whose qubit order is the mirror of the library
-	// pulse's canonical orientation: on replay the per-qubit drive
-	// channels exchange (inlined waveforms are canonical, not exchanged).
-	Mirrored bool `json:"mirrored,omitempty"`
-}
+// ScheduledPulseWire is one slot of the scheduled pulse program; the
+// alias preserves this package's wire surface across the tier split.
+type ScheduledPulseWire = compilesvc.ScheduledPulseWire
 
-// CircuitResponse is the POST /v1/circuits/compile body: the compile
-// summary (coverage, training cost, latency vs the gate-based baseline)
-// plus the scheduled pulse program itself.
-type CircuitResponse struct {
-	Compile CompileResponse `json:"compile"`
-	// MakespanNs is the program's overall latency — the end of the last
-	// scheduled slot (equals compile.qoc_latency_ns).
-	MakespanNs float64 `json:"makespan_ns"`
-	// Schedule lists every group slot ordered by start time.
-	Schedule []ScheduledPulseWire `json:"schedule"`
-	// Waveforms maps content addresses to canonical waveforms, present
-	// only when the request set include_waveforms.
-	Waveforms map[string]*pulse.Pulse `json:"waveforms,omitempty"`
-}
-
-// waveformRef digests a library pulse into the compact content address
-// used on the wire. The address covers the waveform bytes themselves —
-// not the group key — so a retrained pulse (a new calibration epoch, a
-// different device's physics) gets a new ref and a client-side waveform
-// cache can never replay a stale wrong-calibration pulse; identical
-// waveforms share a ref across requests.
-func waveformRef(e *precompile.Entry) string {
-	data, err := e.Pulse.MarshalBinary()
-	if err != nil {
-		// Unreachable for trained entries (pulses validate on decode);
-		// degrade to the key digest rather than dropping the ref.
-		data = []byte(e.Key)
-	}
-	h := sha256.Sum256(data)
-	return "wf:" + hex.EncodeToString(h[:12])
-}
-
-// compileCircuit runs the whole-circuit pipeline for one namespace:
-// plan (front end + canonical keys), resolve every unique group through
-// the shared singleflight/MST machinery, assemble the schedule, and
-// validate it against the schedule invariants before answering.
-func (s *Server) compileCircuit(prog *circuit.Circuit, ns *devreg.Namespace, inlineWaveforms bool, tr *obs.Trace) (*CircuitResponse, error) {
-	begin := time.Now()
-	sp := tr.StartSpan("prepare")
-	plan, err := ns.Plan(prog)
-	if err != nil {
-		return nil, err
-	}
-	sp.End()
-	gr := plan.Prepared.Grouping
-	resp := &CompileResponse{
-		Qubits:      prog.NumQubits,
-		Gates:       prog.GateCount(),
-		Epoch:       ns.Epoch,
-		TotalGroups: len(gr.Groups),
-	}
-	entries := s.resolveGroups(ns, resp, plan.Unique, tr)
-
-	sp = tr.StartSpan("assemble")
-	res := plan.Result()
-	dev := ns.Comp.Options().Device
-	sched, err := accqoc.AssembleSchedule(res, dev.Calibration, func(key string) (*precompile.Entry, bool) {
-		e, ok := entries[key]
-		return e, ok
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.OverallLatencyNs = sched.MakespanNs
-	sp.End()
-	// Conformance oracle: a pulse program violating its own invariants
-	// (dependency order, per-qubit exclusivity, two-sided makespan) must
-	// never reach a waveform generator — fail the request instead.
-	vsp := tr.StartSpan("validate")
-	if verr := sched.Validate(); verr != nil {
-		return nil, fmt.Errorf("scheduled pulse program failed conformance: %w", verr)
-	}
-	vsp.End()
-
-	finalizeResponse(resp, plan.Prepared.Physical, dev, sched.MakespanNs, begin)
-
-	out := &CircuitResponse{
-		Compile:    *resp,
-		MakespanNs: sched.MakespanNs,
-		Schedule:   make([]ScheduledPulseWire, 0, len(sched.Pulses)),
-	}
-	// refs dedups the hash work: one MarshalBinary+SHA-256 per unique
-	// entry, however many occurrences reference it.
-	refs := make(map[string]string, len(entries))
-	for _, sp := range sched.Pulses {
-		slot := ScheduledPulseWire{
-			Group:      sp.Group,
-			Qubits:     sp.Qubits,
-			StartNs:    sp.StartNs,
-			DurationNs: sp.DurationNs,
-			Mirrored:   sp.Mirrored,
-		}
-		if e, eok := entries[sp.Key]; sp.Key != "" && eok && e.Pulse != nil {
-			ref, cached := refs[sp.Key]
-			if !cached {
-				ref = waveformRef(e)
-				refs[sp.Key] = ref
-			}
-			slot.Waveform = ref
-			if inlineWaveforms {
-				if out.Waveforms == nil {
-					out.Waveforms = map[string]*pulse.Pulse{}
-				}
-				out.Waveforms[ref] = e.Pulse
-			}
-		}
-		out.Schedule = append(out.Schedule, slot)
-	}
-	return out, nil
-}
+// CircuitResponse is the POST /v1/circuits/compile body.
+type CircuitResponse = compilesvc.CircuitResponse
 
 func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
@@ -177,12 +44,16 @@ func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 		return
 	}
+	if wantsAsync(r) {
+		s.dispatchAsync(w, r, req.CompileRequest, true, req.IncludeWaveforms)
+		return
+	}
 	res := s.dispatch(w, r, req.CompileRequest, true, req.IncludeWaveforms)
 	if res == nil {
 		return
 	}
 	// Echo the explicit device routing, exactly like the per-group path.
-	res.circ.Compile.Device = req.Device
-	s.compileNs.Add(int64(res.circ.Compile.CompileMillis * float64(time.Millisecond)))
-	writeJSON(w, http.StatusOK, res.circ)
+	res.Circ.Compile.Device = req.Device
+	s.compileNs.Add(int64(res.Circ.Compile.CompileMillis * float64(time.Millisecond)))
+	writeJSON(w, http.StatusOK, res.Circ)
 }

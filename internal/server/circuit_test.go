@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"accqoc"
+	"accqoc/internal/compilesvc"
 	"accqoc/internal/libstore"
 	"accqoc/internal/precompile"
 	"accqoc/internal/pulse"
@@ -422,9 +423,9 @@ func TestWaveformRefTracksPulseContent(t *testing.T) {
 	p1.Amps[0][0] = 0.5
 	p2 := p1.Clone()
 	p2.Amps[0][0] = 0.6 // same key, drifted waveform (what an epoch roll produces)
-	a := waveformRef(&precompile.Entry{Key: "k", Pulse: p1})
-	b := waveformRef(&precompile.Entry{Key: "k", Pulse: p2})
-	c := waveformRef(&precompile.Entry{Key: "other-key", Pulse: p1.Clone()})
+	a := compilesvc.WaveformRef(&precompile.Entry{Key: "k", Pulse: p1})
+	b := compilesvc.WaveformRef(&precompile.Entry{Key: "k", Pulse: p2})
+	c := compilesvc.WaveformRef(&precompile.Entry{Key: "other-key", Pulse: p1.Clone()})
 	if a == b {
 		t.Fatal("refs alias two different waveforms under one key")
 	}

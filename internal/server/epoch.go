@@ -9,9 +9,9 @@ import (
 	"sync"
 	"time"
 
+	"accqoc/internal/compilesvc"
 	"accqoc/internal/devreg"
-	"accqoc/internal/libstore"
-	"accqoc/internal/precompile"
+	"accqoc/internal/jobs"
 )
 
 // This file is the calibration-epoch surface of the server: the admin
@@ -81,10 +81,7 @@ var (
 // epoch swap mid-load would strand the snapshot's entries in a draining
 // store (and lose them at the next shutdown save).
 func (s *Server) calibrate(name string, upd devreg.CalibrationUpdate) (*devreg.Roll, error) {
-	s.closeMu.RLock()
-	closed := s.closed
-	s.closeMu.RUnlock()
-	if closed {
+	if s.closed.Load() {
 		return nil, errClosed
 	}
 	if done, _, _ := s.BootStatus(); !done {
@@ -118,10 +115,12 @@ func (s *Server) CalibrateDefault(upd devreg.CalibrationUpdate) (epoch, planned 
 }
 
 // runRoll drives one calibration roll to completion: each plan item is
-// enqueued on the shared worker pool one at a time (so the roll never
-// monopolizes workers or starves request traffic) and the old epoch is
-// released for retirement when the plan is exhausted or the server shuts
-// down.
+// fed to the training tier one at a time (so the roll never monopolizes
+// workers or starves request traffic) and the old epoch is released for
+// retirement when the plan is exhausted or the server shuts down. The
+// recompilation itself — retrain toward the cached target unitary under
+// the new epoch's physics, arbitrated against request traffic by the new
+// store's singleflight — lives in the training tier.
 func (s *Server) runRoll(roll *devreg.Roll) {
 	defer s.rollWG.Done()
 	defer roll.Finish()
@@ -133,71 +132,17 @@ func (s *Server) runRoll(roll *devreg.Roll) {
 			return
 		}
 		it := &roll.Plan[i]
-		j := &job{recomp: it, roll: roll, ns: roll.New, done: make(chan jobResult, 1)}
 		for {
-			if err := s.enqueue(j); err == nil {
+			err := s.svc.Recompile(roll, it)
+			if err == nil {
 				break
 			}
-			s.closeMu.RLock()
-			closed := s.closed
-			s.closeMu.RUnlock()
-			if closed {
+			if errors.Is(err, compilesvc.ErrClosed) || s.closed.Load() {
 				return
 			}
 			// Queue full: request traffic has priority; retry shortly.
-			select {
-			case <-s.quit:
-				return
-			case <-time.After(5 * time.Millisecond):
-			}
+			time.Sleep(5 * time.Millisecond)
 		}
-		// Workers drain the queue even during shutdown, and Close's final
-		// sweep answers stragglers, so this receive always completes.
-		<-j.done
-	}
-}
-
-// recompileOne executes one cross-epoch recompilation item on a worker:
-// re-train the old epoch's entry toward its cached target unitary under
-// the new epoch's physics, seeded by the old pulse at its native duration.
-// The new store's singleflight arbitrates against request traffic — if a
-// serving-path miss already covered (or is covering) the key, the item is
-// counted skipped rather than trained twice.
-func (s *Server) recompileOne(roll *devreg.Roll, it *devreg.RecompItem) {
-	ns := roll.New
-	if ns.Store.Contains(it.Key) {
-		roll.Note(true, false, false, 0)
-		return
-	}
-	seeded := it.Old.Pulse != nil
-	var iters int
-	_, outcome, err := ns.Store.GetOrTrain(it.Key, func() (*precompile.Entry, error) {
-		e, terr := precompile.RetrainEntry(it.Old, it.Unitary, ns.Comp.Options().Precompile)
-		if terr != nil {
-			return nil, terr
-		}
-		iters = e.Iterations
-		if ns.Seeds != nil {
-			// Pre-index under the known target so the store hook skips
-			// its propagation (same zero-propagation invariant as the
-			// serving path).
-			ns.Seeds.InsertWithUnitary(e, it.Unitary)
-		}
-		return e, terr
-	})
-	switch {
-	case outcome == libstore.OutcomeTrained && err == nil:
-		roll.Note(false, false, seeded, iters)
-		if seeded {
-			s.warmSeeded.Add(1)
-		}
-	case outcome == libstore.OutcomeTrained:
-		roll.Note(false, true, false, iters)
-	default:
-		// Hit, or joined a concurrent request's training (whatever its
-		// outcome): the racing miss owns that work — the roll item is
-		// skipped, not failed.
-		roll.Note(true, false, false, 0)
 	}
 }
 
@@ -295,6 +240,15 @@ type DeviceHealth struct {
 	Recompile        devreg.RollStatus `json:"recompile"`
 }
 
+// CompileTierHealth is the training-tier block of /healthz: the live
+// queue/in-flight readings, read through the CompileService interface.
+type CompileTierHealth struct {
+	Workers    int `json:"workers"`
+	QueueLen   int `json:"queue_len"`
+	QueueDepth int `json:"queue_depth"`
+	InFlight   int `json:"in_flight"`
+}
+
 // HealthResponse is the GET /healthz body. Status "ok" (200) means ready:
 // the boot snapshot, when configured, has loaded. "loading" (503) means
 // the load is still in flight; "error" (503) means it failed — the server
@@ -305,10 +259,23 @@ type HealthResponse struct {
 	Ready   bool                `json:"ready"`
 	Boot    *BootSnapshotHealth `json:"boot_snapshot,omitempty"`
 	Devices []DeviceHealth      `json:"devices"`
+	// Compile reports the training tier; Jobs censuses the async job
+	// store by state (absent when the async job API is disabled).
+	Compile CompileTierHealth `json:"compile"`
+	Jobs    *jobs.Counts      `json:"jobs,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	out := HealthResponse{Status: "ok", Ready: true}
+	out := HealthResponse{Status: "ok", Ready: true, Compile: CompileTierHealth{
+		Workers:    s.svc.Workers(),
+		QueueLen:   s.svc.QueueLen(),
+		QueueDepth: s.svc.QueueCap(),
+		InFlight:   s.svc.InFlight(),
+	}}
+	if s.jobStore != nil {
+		c := s.jobStore.Counts()
+		out.Jobs = &c
+	}
 	s.boot.mu.Lock()
 	if s.boot.configured {
 		b := &BootSnapshotHealth{

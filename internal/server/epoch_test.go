@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"accqoc/internal/circuit"
+	"accqoc/internal/compilesvc"
 	"accqoc/internal/devreg"
 	"accqoc/internal/libstore"
 	"accqoc/internal/precompile"
@@ -276,7 +277,7 @@ func TestServerCrossEpochSeedingDuringRoll(t *testing.T) {
 	defer s.Close()
 	progA := mustParseT(t, rxAProgram)
 	progB := mustParseT(t, rxBProgram)
-	if _, err := s.compile(progA, s.defaultNS(), nil); err != nil {
+	if _, err := s.svc.Do(&compilesvc.Request{Prog: progA, NS: s.defaultNS()}); err != nil {
 		t.Fatal(err)
 	}
 	// Open the epoch directly on the registry: no background pipeline
@@ -287,15 +288,15 @@ func TestServerCrossEpochSeedingDuringRoll(t *testing.T) {
 	}
 	defer roll.Finish()
 
-	resp, err := s.compile(progB, roll.New, nil)
+	res, err := s.svc.Do(&compilesvc.Request{Prog: progB, NS: roll.New})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.UncoveredUnique != 1 || resp.WarmSeeded != 1 {
-		t.Fatalf("fresh-epoch miss not cross-epoch seeded: %+v", resp)
+	if res.Resp.UncoveredUnique != 1 || res.Resp.WarmSeeded != 1 {
+		t.Fatalf("fresh-epoch miss not cross-epoch seeded: %+v", res.Resp)
 	}
-	if resp.Epoch != 1 {
-		t.Fatalf("epoch %d, want 1", resp.Epoch)
+	if res.Resp.Epoch != 1 {
+		t.Fatalf("epoch %d, want 1", res.Resp.Epoch)
 	}
 }
 

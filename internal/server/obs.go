@@ -20,7 +20,6 @@ import (
 	"time"
 
 	"accqoc/internal/devreg"
-	"accqoc/internal/libstore"
 	"accqoc/internal/obs"
 )
 
@@ -176,8 +175,22 @@ func (s *Server) registerCollectors() {
 		func(st devreg.DeviceStatus) float64 { return float64(st.Recompile.Planned) })
 	gauge("accqoc_roll_pending", "Unprocessed plan items of the device's recompilation roll (roll progress = planned - pending).",
 		func(st devreg.DeviceStatus) float64 { return float64(st.Recompile.Pending()) })
-	r.GaugeFunc("accqoc_queue_depth", "Jobs waiting in the compile queue.",
-		func() float64 { return float64(len(s.jobs)) })
+	r.GaugeFunc("accqoc_queue_depth", "Tasks waiting in the training tier's compile queue.",
+		func() float64 { return float64(s.svc.QueueLen()) })
+	r.GaugeFunc("accqoc_compile_in_flight", "Tasks currently executing on training-tier workers.",
+		func() float64 { return float64(s.svc.InFlight()) })
+	if s.jobStore != nil {
+		r.CollectGauges("accqoc_jobs", "Async jobs held by the job store, by state.",
+			[]string{"state"}, func(emit obs.Emit) {
+				c := s.jobStore.Counts()
+				emit(float64(c.Queued), "queued")
+				emit(float64(c.Running), "running")
+				emit(float64(c.Done), "done")
+				emit(float64(c.Failed), "failed")
+			})
+		r.CollectCounters("accqoc_jobs_rejected_total", "Async submissions refused with 503 (job store at capacity, or shutdown).",
+			nil, func(emit obs.Emit) { emit(float64(s.rejectedAsync.Load())) })
+	}
 }
 
 // statusWriter captures the response status code for the request counter
@@ -257,16 +270,4 @@ func (s *Server) observeCompile(device string, elapsed time.Duration) {
 		return
 	}
 	s.obs.deviceLatency.With(device).Observe(elapsed.Seconds())
-}
-
-// outcomeString names a store outcome for trace spans.
-func outcomeString(o libstore.Outcome) string {
-	switch o {
-	case libstore.OutcomeTrained:
-		return "trained"
-	case libstore.OutcomeJoined:
-		return "joined"
-	default:
-		return "hit"
-	}
 }

@@ -144,6 +144,9 @@ func TestMetricsExposition(t *testing.T) {
 		"accqoc_roll_planned":                     "gauge",
 		"accqoc_roll_pending":                     "gauge",
 		"accqoc_queue_depth":                      "gauge",
+		"accqoc_compile_in_flight":                "gauge",
+		"accqoc_jobs":                             "gauge",
+		"accqoc_jobs_rejected_total":              "counter",
 	}
 	for name, typ := range wantTypes {
 		if got := exp.types[name]; got != typ {
@@ -165,6 +168,11 @@ func TestMetricsExposition(t *testing.T) {
 		`accqoc_device_epoch{device="default"}`,
 		`accqoc_device_epoch_age_seconds{device="default"}`,
 		`accqoc_roll_active{device="default"}`,
+		`accqoc_jobs{state="queued"}`,
+		`accqoc_jobs{state="running"}`,
+		`accqoc_jobs{state="done"}`,
+		`accqoc_jobs{state="failed"}`,
+		`accqoc_jobs_rejected_total`,
 	} {
 		if _, ok := exp.samples[series]; !ok {
 			t.Errorf("series %s missing from exposition", series)

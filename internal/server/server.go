@@ -1,32 +1,27 @@
-// Package server exposes the AccQOC compilation pipeline as an HTTP JSON
-// service — the long-lived deployment shape the paper's pre-compiled
-// library implies (§IV/§V): many programs, one shared pulse library per
-// (device, calibration epoch). The server accepts OpenQASM 2.0 or a
-// workload spec on POST /v1/compile, routes the request's `device` field
-// through the device registry (internal/devreg) to the device's
-// current-epoch namespace, runs the Prepare→coverage→train→latency
-// pipeline on a bounded worker pool, and serves every trained pulse from
-// that namespace's sharded libstore.Store so warm requests cost library
-// lookups instead of GRAPE iterations. Concurrent requests that need the
-// same uncovered gate group trigger exactly one training (the store's
-// singleflight).
+// Package server is the routing tier of the AccQOC serving stack: the
+// HTTP JSON surface over the training tier (internal/compilesvc), which
+// owns the Prepare→coverage→train→latency pipeline and its worker pool.
+// This package handles transport, request validation, admission
+// accounting, device/namespace routing through the device registry
+// (internal/devreg), request IDs and observability spans — and speaks to
+// the pipeline exclusively through the compilesvc.CompileService
+// interface, so the training tier can later run out-of-process or be
+// consistent-hashed across nodes without touching a handler.
 //
-// Cache misses do not train cold: the compile path plans each request —
-// covered groups resolve as hits, the uncovered remainder is MST-ordered
-// over its similarity graph (§V-C) and trained along tree edges, with
-// identity-rooted groups anchored at their nearest covered entry from the
-// warm-start seed index (internal/seedindex, kept coherent with the store
-// through its mutation hook). Earlier-trained groups of a request seed
-// later ones; warm_seeded / seed_distance counters surface the effect in
-// the compile response and /v1/library/stats.
+// Synchronous requests (POST /v1/compile, POST /v1/circuits/compile)
+// block on the service's Do and return the finished response; the same
+// endpoints with ?async=1 return 202 Accepted plus a job ID backed by the
+// bounded job store (internal/jobs), pollable on GET /v1/jobs/{id} and
+// cancelable with DELETE while still queued. Async submissions against
+// the same (device, epoch) namespace are batched by the training tier
+// into one shared resolveGroups pass; exactly-once training holds across
+// sync and async traffic because every path resolves through the same
+// namespace store singleflight.
 //
 // A calibration event (POST /v1/devices/{name}/calibrate) opens a new
-// epoch and starts a background recompilation roll on the same worker
-// pool: the old epoch's covered groups are re-trained
-// most-requested-first, each seeded by its own old-epoch pulse, while
-// misses during the roll fall through to the new epoch's cold/MST path
-// (cross-epoch seeded through the index's parent link) — serving never
-// blocks on a recalibration.
+// epoch and starts a background recompilation roll that feeds the shared
+// pool one item at a time through the service's Recompile, so serving
+// never blocks on a recalibration.
 package server
 
 import (
@@ -36,27 +31,19 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"accqoc"
 	"accqoc/internal/circuit"
-	"accqoc/internal/cmat"
-	"accqoc/internal/crosstalk"
+	"accqoc/internal/compilesvc"
 	"accqoc/internal/devreg"
-	"accqoc/internal/gatepulse"
-	"accqoc/internal/grouping"
-	"accqoc/internal/latency"
+	"accqoc/internal/jobs"
 	"accqoc/internal/libstore"
 	"accqoc/internal/obs"
-	"accqoc/internal/precompile"
 	"accqoc/internal/qasm"
 	"accqoc/internal/seedindex"
-	"accqoc/internal/simgraph"
-	"accqoc/internal/similarity"
-	"accqoc/internal/topology"
 	"accqoc/internal/workload"
 )
 
@@ -87,15 +74,29 @@ type Config struct {
 	// unless BootSnapshotForce is set.
 	BootSnapshot      string
 	BootSnapshotForce bool
-	// Workers bounds concurrent compilations. Default GOMAXPROCS.
+	// Workers bounds concurrent compilations in the training tier.
+	// Default GOMAXPROCS.
 	Workers int
 	// QueueDepth bounds pending requests beyond the running ones; a full
-	// queue answers 503. Default 64.
+	// queue answers 503 with a Retry-After hint. Default 64.
 	QueueDepth int
 	// MaxGates rejects programs above this gate count (400). Default 4096.
 	MaxGates int
 	// MaxBodyBytes bounds request bodies. Default 4 MiB.
 	MaxBodyBytes int64
+	// DisableAsyncJobs turns off the async job API: ?async=1 is refused
+	// and the /v1/jobs routes are not registered.
+	DisableAsyncJobs bool
+	// JobTTL bounds how long finished async jobs stay pollable before
+	// TTL eviction. Default 15 minutes.
+	JobTTL time.Duration
+	// JobCap bounds the async job store; a full store answers 503 with
+	// Retry-After (counted in rejected_async). Default 1024.
+	JobCap int
+	// AsyncBatchWindow is how long an async submission waits in the
+	// training tier to share one resolveGroups pass with same-namespace
+	// company. Default 2ms.
+	AsyncBatchWindow time.Duration
 	// DisableSeedIndex turns off the warm-start seed index and the
 	// plan/execute miss path: cache misses then train cold in
 	// deduplication order, reproducing the pre-index serving behavior
@@ -156,50 +157,10 @@ type CompileRequest struct {
 	Device string `json:"device,omitempty"`
 }
 
-// CompileResponse reports one request's accelerated compilation.
-type CompileResponse struct {
-	Qubits int `json:"qubits"`
-	Gates  int `json:"gates"`
-
-	// Device echoes the request's device routing (empty for the default
-	// wire format); Epoch is the calibration epoch that served the
-	// request (0, the boot epoch, is omitted).
-	Device string `json:"device,omitempty"`
-	Epoch  int    `json:"epoch,omitempty"`
-
-	// Coverage of group occurrences by the library at request start
-	// (§V-A). A warm request has coverage 1.
-	TotalGroups     int     `json:"total_groups"`
-	CoveredGroups   int     `json:"covered_groups"`
-	CoverageRate    float64 `json:"coverage_rate"`
-	UncoveredUnique int     `json:"uncovered_unique"`
-	FailedGroups    int     `json:"failed_groups"`
-	WarmServed      bool    `json:"warm_served"`
-
-	// TrainingIterations sums GRAPE iterations across the trainings this
-	// request executed itself (joined in-flight trainings excluded) —
-	// the compile-cost metric of §VI-G.
-	TrainingIterations int `json:"training_iterations"`
-	// WarmSeeded counts this request's trainings that warm-started from
-	// a seed (an MST neighbor trained earlier in the request, or a
-	// covered entry from the seed index) instead of a random waveform.
-	WarmSeeded int `json:"warm_seeded"`
-	// SeedDistance is the mean similarity distance of the admitted
-	// seeds; 0 when WarmSeeded is 0.
-	SeedDistance float64 `json:"seed_distance"`
-
-	QOCLatencyNs      float64 `json:"qoc_latency_ns"`
-	GateLatencyNs     float64 `json:"gate_latency_ns"`
-	LatencyReduction  float64 `json:"latency_reduction"`
-	EstimatedFidelity float64 `json:"estimated_fidelity"`
-
-	// CompileMillis is the server-side wall time for this request.
-	CompileMillis float64 `json:"compile_millis"`
-
-	// seedDistanceSum accumulates admitted seed distances during
-	// resolution; folded into SeedDistance before the response is sent.
-	seedDistanceSum float64
-}
+// CompileResponse reports one request's accelerated compilation. The
+// type lives in the training tier (it is the pipeline's output); the
+// alias preserves this package's wire surface across the tier split.
+type CompileResponse = compilesvc.CompileResponse
 
 // StatsResponse is the GET /v1/library/stats body. Library and SeedIndex
 // describe the default device's current epoch (the pre-registry wire
@@ -211,51 +172,33 @@ type StatsResponse struct {
 	Server    ServerStats      `json:"server"`
 }
 
-// ServerStats carries request-level counters.
+// ServerStats carries request-level counters plus the training tier's
+// live queue/in-flight readings (reported through the CompileService
+// interface — the routing tier holds no pipeline state of its own).
 type ServerStats struct {
 	UptimeSeconds      float64 `json:"uptime_seconds"`
 	Requests           int64   `json:"requests"`
 	Failures           int64   `json:"failures"`
-	Rejected           int64   `json:"rejected"` // queue-full 503s
+	Rejected           int64   `json:"rejected"` // queue-full 503s (sync)
+	// RejectedAsync counts async submissions refused with 503 (job store
+	// at capacity, or shutdown).
+	RejectedAsync      int64   `json:"rejected_async"`
 	TotalCompileMillis float64 `json:"total_compile_millis"`
 	// WarmSeeded totals trainings (across all requests) that started
 	// from a similarity-admitted seed.
 	WarmSeeded int64 `json:"warm_seeded"`
 	Workers    int   `json:"workers"`
 	QueueDepth int   `json:"queue_depth"`
+	// QueueLen/InFlight are the training tier's live readings: tasks
+	// waiting in the compile queue and tasks executing on workers.
+	QueueLen int `json:"queue_len"`
+	InFlight int `json:"in_flight"`
+	// Jobs censuses the async job store by state; absent when the async
+	// job API is disabled.
+	Jobs *jobs.Counts `json:"jobs,omitempty"`
 }
 
-// job is one unit of worker-pool work: a compile request against a
-// namespace, a whole-circuit compile (scheduled pulse program), or one
-// recompilation item of a calibration roll.
-type job struct {
-	prog *circuit.Circuit
-	ns   *devreg.Namespace
-	// circuit marks a whole-circuit job (POST /v1/circuits/compile): the
-	// worker answers with a scheduled pulse program instead of the plain
-	// compile summary; waveforms additionally inlines the referenced
-	// waveforms in the response.
-	circuit   bool
-	waveforms bool
-	// recomp, when non-nil, marks a background cross-epoch recompilation
-	// item (roll carries the progress accounting).
-	recomp *devreg.RecompItem
-	roll   *devreg.Roll
-	// trace is the request's pipeline trace (nil when observability is
-	// off or the endpoint is not flight-recorded); queueSpan times the
-	// handler→worker handoff and is ended at worker pickup.
-	trace     *obs.Trace
-	queueSpan *obs.Span
-	done      chan jobResult
-}
-
-type jobResult struct {
-	resp *CompileResponse
-	circ *CircuitResponse
-	err  error
-}
-
-// Server is the HTTP compilation service.
+// Server is the HTTP routing tier.
 type Server struct {
 	cfg Config
 	// registry maps device names to their current calibration-epoch
@@ -263,18 +206,22 @@ type Server struct {
 	registry *devreg.Registry
 	mux      *http.ServeMux
 
-	jobs chan *job
-	quit chan struct{}
-	wg   sync.WaitGroup
+	// svc is the training tier: the only way this package reaches the
+	// compile pipeline.
+	svc compilesvc.CompileService
+	// jobStore backs the async job API; nil under DisableAsyncJobs.
+	jobStore *jobs.Store
+
 	// rollWG tracks background goroutines outside the worker pool: the
 	// boot-snapshot load and calibration-roll drivers. Close waits for
-	// them after the final queue sweep (a roll driver may be blocked on a
-	// job the sweep answers).
+	// them after the training tier drains (a roll driver blocked on a
+	// Recompile is answered by the service's shutdown sweep).
 	rollWG sync.WaitGroup
 	start  time.Time
 
 	requests, failures, rejected atomic.Int64
-	compileNs, warmSeeded        atomic.Int64
+	rejectedAsync                atomic.Int64
+	compileNs                    atomic.Int64
 
 	// obs is the observability bundle (metrics registry, flight recorder,
 	// pipeline hooks); nil under Config.DisableObservability, and every
@@ -284,16 +231,13 @@ type Server struct {
 
 	boot bootState
 
-	// closeMu orders handler enqueues against Close: an enqueue holds the
-	// read lock, so once Close holds the write lock and sets closed, every
-	// queued job predates the quit signal and the worker drain loop (or
-	// Close's final sweep) is guaranteed to answer it.
-	closeMu   sync.RWMutex
-	closed    bool
-	closeOnce sync.Once
+	// closed gates calibrations and marks the shutdown path; request
+	// admission during shutdown is the training tier's job (ErrClosed).
+	closed atomic.Bool
 }
 
-// New builds a server and starts its worker pool.
+// New builds a server, its training-tier pool, and (unless disabled) its
+// async job store.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	// The observability hooks must be planted in the option template
@@ -326,11 +270,17 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		registry: reg,
 		mux:      http.NewServeMux(),
-		jobs:     make(chan *job, cfg.QueueDepth),
-		quit:     make(chan struct{}),
-		start:    time.Now(),
-		obs:      ob,
-		logger:   cfg.Logger,
+		svc: compilesvc.New(compilesvc.Config{
+			Workers:     cfg.Workers,
+			QueueDepth:  cfg.QueueDepth,
+			BatchWindow: cfg.AsyncBatchWindow,
+		}),
+		start:  time.Now(),
+		obs:    ob,
+		logger: cfg.Logger,
+	}
+	if !cfg.DisableAsyncJobs {
+		s.jobStore = jobs.NewStore(cfg.JobCap, cfg.JobTTL)
 	}
 	for _, p := range cfg.Devices {
 		if rerr := reg.Register(p); rerr != nil {
@@ -343,14 +293,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/devices", s.instrument("/v1/devices", false, s.handleDevices))
 	s.mux.HandleFunc("POST /v1/devices/{name}/calibrate", s.instrument("/v1/devices/calibrate", false, s.handleCalibrate))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", false, s.handleHealthz))
+	if s.jobStore != nil {
+		s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", false, s.handleJobGet))
+		s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs", false, s.handleJobDelete))
+	}
 	if ob != nil {
 		s.registerCollectors()
 		s.mux.Handle("GET /metrics", ob.reg.Handler())
 		s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
-	}
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
 	}
 	s.startBootLoad()
 	return s
@@ -358,6 +308,9 @@ func New(cfg Config) *Server {
 
 // Registry exposes the device registry (admin surfaces, tests).
 func (s *Server) Registry() *devreg.Registry { return s.registry }
+
+// Service exposes the training tier (tests, future admin surfaces).
+func (s *Server) Service() compilesvc.CompileService { return s.svc }
 
 // Store exposes the default device's current-epoch pulse store.
 func (s *Server) Store() *libstore.Store { return s.defaultNS().Store }
@@ -375,422 +328,30 @@ func (s *Server) defaultNS() *devreg.Namespace {
 // Handler returns the HTTP handler (for http.Server or httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the worker pool after draining queued jobs. Requests that
-// arrive during or after Close are answered 503.
+// Close shuts the stack down back to front: the training tier drains its
+// queue (answering stragglers and unflushed async batches with
+// ErrClosed, which fails their jobs), roll drivers observe the closed
+// service and exit, and finally any job still queued in the store —
+// there should be none — is marked failed rather than stranded.
 func (s *Server) Close() {
-	s.closeMu.Lock()
-	s.closed = true
-	s.closeMu.Unlock()
-	s.closeOnce.Do(func() { close(s.quit) })
-	s.wg.Wait()
-	// Fail anything that slipped into the queue between the workers' drain
-	// sweep and their exit (possible only for jobs enqueued before closed
-	// was set, so this sweep is the last).
-	for {
-		select {
-		case j := <-s.jobs:
-			j.done <- jobResult{err: errors.New("server closed")}
-		default:
-			// Roll drivers observe closed (or their swept job) and exit;
-			// the boot loader finishes on its own.
-			s.rollWG.Wait()
-			return
-		}
+	s.closed.Store(true)
+	s.svc.Close()
+	// Roll drivers observe ErrClosed (or their answered item) and exit;
+	// the boot loader finishes on its own.
+	s.rollWG.Wait()
+	if s.jobStore != nil {
+		s.jobStore.FailQueued(compilesvc.ErrClosed.Error())
 	}
 }
 
-// enqueue submits a job unless the server is closed or the queue is full.
-func (s *Server) enqueue(j *job) error {
-	s.closeMu.RLock()
-	defer s.closeMu.RUnlock()
-	if s.closed {
-		return errors.New("server shutting down")
-	}
-	select {
-	case s.jobs <- j:
-		return nil
-	default:
-		return errors.New("compilation queue full")
-	}
-}
-
-func (s *Server) worker() {
-	defer s.wg.Done()
-	run := func(j *job) {
-		j.queueSpan.End()
-		if j.recomp != nil {
-			s.recompileOne(j.roll, j.recomp)
-			j.done <- jobResult{}
-			return
-		}
-		if j.circuit {
-			circ, err := s.compileCircuit(j.prog, j.ns, j.waveforms, j.trace)
-			j.done <- jobResult{circ: circ, err: err}
-			return
-		}
-		resp, err := s.compile(j.prog, j.ns, j.trace)
-		j.done <- jobResult{resp: resp, err: err}
-	}
-	for {
-		select {
-		case j := <-s.jobs:
-			run(j)
-		case <-s.quit:
-			// Drain whatever is already queued so no handler hangs.
-			for {
-				select {
-				case j := <-s.jobs:
-					run(j)
-				default:
-					return
-				}
-			}
-		}
-	}
-}
-
-// trainStep is one planned cold training: a unique group, its canonical
-// target unitary, and its warm-start edge from the similarity MST.
-type trainStep struct {
-	// cold indexes the request's cold set; trained results are recorded
-	// under it so MST children can find their parent's entry.
-	cold    int
-	uniq    *grouping.UniqueGroup
-	unitary *cmat.Matrix
-	// warmFrom is the MST parent's cold index, -1 when the group is
-	// rooted at the identity (then the seed index supplies the anchor).
-	warmFrom int
-	// warmDist is the MST edge weight to warmFrom.
-	warmDist float64
-}
-
-// planColdSteps orders a request's uncovered unique groups for training:
-// per size class, a Prim MST over the similarity graph (identity-rooted,
-// §V-C) fixes both the order and the warm-start edges, exactly as the
-// batch pre-compilation does — but over the live miss set of one
-// request. Singleton classes train directly. Classes are planned in
-// ascending size for determinism.
-func planColdSteps(cold []*grouping.UniqueGroup, fn similarity.Func) ([]trainStep, error) {
-	if len(cold) == 0 {
-		return nil, nil
-	}
-	us := make([]*cmat.Matrix, len(cold))
-	bySize := map[int][]int{}
-	for i, u := range cold {
-		m, err := u.Group.Unitary()
-		if err != nil {
-			return nil, err
-		}
-		us[i] = precompile.CanonicalUnitary(m)
-		bySize[u.NumQubits] = append(bySize[u.NumQubits], i)
-	}
-	sizes := make([]int, 0, len(bySize))
-	for sz := range bySize {
-		sizes = append(sizes, sz)
-	}
-	sort.Ints(sizes)
-
-	steps := make([]trainStep, 0, len(cold))
-	for _, sz := range sizes {
-		idxs := bySize[sz]
-		if len(idxs) == 1 {
-			i := idxs[0]
-			steps = append(steps, trainStep{cold: i, uniq: cold[i], unitary: us[i], warmFrom: -1})
-			continue
-		}
-		classUs := make([]*cmat.Matrix, len(idxs))
-		for j, i := range idxs {
-			classUs[j] = us[i]
-		}
-		g, err := simgraph.Build(classUs, fn)
-		if err != nil {
-			return nil, err
-		}
-		mst, err := g.PrimMST(0)
-		if err != nil {
-			return nil, err
-		}
-		for _, st := range mst.CompilationSequence() {
-			i := idxs[st.Group]
-			warm := -1
-			if st.WarmFrom >= 0 {
-				warm = idxs[st.WarmFrom]
-			}
-			steps = append(steps, trainStep{
-				cold: i, uniq: cold[i], unitary: us[i],
-				warmFrom: warm, warmDist: st.Distance,
-			})
-		}
-	}
-	return steps, nil
-}
-
-// seedFor picks the warm start for one cold step: the MST parent when it
-// trained earlier in this request (its pulse admitted under
-// WarmThreshold, its latency always transferring as the binary-search
-// hint), otherwise the nearest covered entry from the namespace's seed
-// index (which, during a calibration roll, chains to the previous
-// epoch's). Called only from inside the training closure, so
-// planned-but-hit groups never pay for a lookup.
-func seedFor(ns *devreg.Namespace, fn similarity.Func, st trainStep, trained []*precompile.Entry) (*precompile.Entry, float64) {
-	if st.warmFrom >= 0 {
-		if prev := trained[st.warmFrom]; prev != nil {
-			seed := &precompile.Entry{NumQubits: st.uniq.NumQubits, LatencyNs: prev.LatencyNs}
-			if st.warmDist <= similarity.WarmThreshold(fn, st.unitary.Rows) {
-				seed.Pulse = prev.Pulse
-			}
-			return seed, st.warmDist
-		}
-	}
-	if sd, ok := ns.Seeds.Nearest(st.unitary, st.uniq.NumQubits); ok {
-		return &precompile.Entry{
-			NumQubits: st.uniq.NumQubits,
-			Pulse:     sd.Pulse,
-			LatencyNs: sd.LatencyNs,
-		}, sd.Distance
-	}
-	return nil, 0
-}
-
-// resolve fetches or trains one unique group through the namespace
-// store's singleflight and updates the response counters. plan, when
-// non-nil, supplies the warm-start seed, its distance, and the group's
-// canonical target unitary; it is consulted only if this call actually
-// executes the training (a hit or a joined in-flight training never
-// evaluates it). A returned unitary pre-indexes the freshly trained entry
-// under its target so the store hook's propagation is skipped (the index
-// dedups on pulse identity).
-func (s *Server) resolve(ns *devreg.Namespace, resp *CompileResponse, entries map[string]*precompile.Entry, u *grouping.UniqueGroup, cfg precompile.Config, plan func() (*precompile.Entry, float64, *cmat.Matrix), tr *obs.Trace) *precompile.Entry {
-	var seedDist float64
-	var seeded bool
-	sp := tr.StartSpan("train")
-	e, outcome, err := ns.Store.GetOrTrain(u.Key, func() (*precompile.Entry, error) {
-		var seed *precompile.Entry
-		var unitary *cmat.Matrix
-		if plan != nil {
-			var d float64
-			seed, d, unitary = plan()
-			if seed != nil && seed.Pulse != nil {
-				seeded, seedDist = true, d
-			}
-		}
-		trained, terr := precompile.TrainGroup(u, cfg, seed)
-		if terr == nil && ns.Seeds != nil && unitary != nil {
-			ns.Seeds.InsertWithUnitary(trained, unitary)
-		}
-		return trained, terr
-	})
-	if outcome == libstore.OutcomeHit {
-		resp.CoveredGroups += u.Count
-		// A hit span is never ended: warm requests would otherwise bloat
-		// every trace with hundreds of no-op lookups.
-	} else {
-		// Trained here or joined another request's in-flight training:
-		// either way this request waited on GRAPE for the group.
-		resp.UncoveredUnique++
-		if outcome == libstore.OutcomeTrained && err == nil {
-			resp.TrainingIterations += e.Iterations
-			if seeded {
-				resp.WarmSeeded++
-				resp.seedDistanceSum += seedDist
-				s.warmSeeded.Add(1)
-			}
-		}
-		if sp != nil {
-			sp.Key = u.Key
-			sp.Outcome = outcomeString(outcome)
-			sp.Coalesced = outcome == libstore.OutcomeJoined
-			if outcome == libstore.OutcomeTrained && err == nil {
-				sp.Iterations = e.Iterations
-				sp.Infidelity = e.Infidelity
-				if seeded {
-					sp.SeedDistance = seedDist
-				} else {
-					sp.SeedDistance = -1 // trained cold
-				}
-			}
-			sp.End()
-		}
-	}
-	if err != nil {
-		// Unreachable within the bracket: price it gate-based below.
-		resp.FailedGroups++
-		return nil
-	}
-	entries[u.Key] = e
-	return e
-}
-
-// compile runs the serving-side pipeline for one namespace in a
-// plan/execute shape: Prepare, a stats-neutral coverage plan that
-// MST-orders the request's cache misses, singleflight training along the
-// tree edges with warm-start seeds, and Algorithm 3 latency assembly.
-func (s *Server) compile(prog *circuit.Circuit, ns *devreg.Namespace, tr *obs.Trace) (*CompileResponse, error) {
-	begin := time.Now()
-	sp := tr.StartSpan("prepare")
-	prep, err := ns.Comp.Prepare(prog)
-	if err != nil {
-		return nil, err
-	}
-	gr := prep.Grouping
-	keys, err := precompile.Keys(gr)
-	if err != nil {
-		return nil, err
-	}
-	sp.End()
-
-	resp := &CompileResponse{
-		Qubits:      prog.NumQubits,
-		Gates:       prog.GateCount(),
-		Epoch:       ns.Epoch,
-		TotalGroups: len(gr.Groups),
-	}
-
-	// Deduplicate occurrences against the precomputed keys, then resolve
-	// every unique group: a warm key is a store hit; a cold key trains
-	// exactly once across all concurrent requests (singleflight).
-	uniq := grouping.DeduplicateKeyed(gr.Groups, keys)
-	entries := s.resolveGroups(ns, resp, uniq, tr)
-
-	sp = tr.StartSpan("latency")
-	dev := ns.Comp.Options().Device
-	overall, err := latency.OverallGroups(gr, func(i int) (float64, error) {
-		if e, ok := entries[keys[i]]; ok {
-			return e.LatencyNs, nil
-		}
-		return accqoc.GateFallbackNs(gr.Groups[i], dev.Calibration), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	finalizeResponse(resp, prep.Physical, dev, overall, begin)
-	sp.End()
-	return resp, nil
-}
-
-// finalizeResponse fills the latency/fidelity tail shared by the
-// per-group and circuit responses.
-func finalizeResponse(resp *CompileResponse, phys *circuit.Circuit, dev *topology.Device, overall float64, begin time.Time) {
-	resp.QOCLatencyNs = overall
-	resp.GateLatencyNs = gatepulse.Overall(phys, dev.Calibration)
-	if overall > 0 {
-		resp.LatencyReduction = resp.GateLatencyNs / overall
-	}
-	resp.EstimatedFidelity = crosstalk.ProgramFidelity(phys, dev, overall)
-	resp.CompileMillis = float64(time.Since(begin)) / float64(time.Millisecond)
-}
-
-// resolveGroups is the shared resolution core of the compile and circuit
-// paths: every unique group of a request resolves against the namespace
-// store — a warm key is a hit, a cold key trains exactly once across all
-// concurrent requests (singleflight), MST-ordered with warm-start seeds
-// when the seed index is on. It fills the response's coverage, training
-// and seeding counters and returns the resolved entries by key.
-func (s *Server) resolveGroups(ns *devreg.Namespace, resp *CompileResponse, uniq []*grouping.UniqueGroup, tr *obs.Trace) map[string]*precompile.Entry {
-	entries := make(map[string]*precompile.Entry, len(uniq))
-	cfg := ns.Comp.Options().Precompile
-	simFn := ns.SimilarityFn()
-	switch {
-	case ns.Seeds == nil:
-		// Index disabled: resolve in deduplication order with cold
-		// random-init trainings — the pre-index serving path, preserved
-		// byte for byte.
-		for _, u := range uniq {
-			s.resolve(ns, resp, entries, u, cfg, nil, tr)
-		}
-	default:
-		// Plan: partition into covered and cold without touching
-		// counters or LRU order, then MST-order the cold set.
-		psp := tr.StartSpan("plan")
-		var covered, cold []*grouping.UniqueGroup
-		for _, u := range uniq {
-			if ns.Store.Contains(u.Key) {
-				covered = append(covered, u)
-			} else {
-				cold = append(cold, u)
-			}
-		}
-		steps, perr := planColdSteps(cold, simFn)
-		psp.End()
-		if perr != nil {
-			// Planning must never fail a request harder than the legacy
-			// path would: the same defect (an unbuildable group unitary,
-			// a broken similarity function) surfaces inside TrainGroup
-			// on the legacy path, where the group is priced gate-based
-			// and counted in failed_groups. Fall back to exactly that.
-			for _, u := range uniq {
-				s.resolve(ns, resp, entries, u, cfg, nil, tr)
-			}
-			break
-		}
-		// Execute: covered keys resolve as hits first, then the cold
-		// set trains along the tree edges; every trained group becomes
-		// a seed candidate for its MST children later in this request.
-		for _, u := range covered {
-			u := u
-			// A hit never evaluates the closure; it exists for the rare
-			// key evicted between plan and execute, which then trains as
-			// an identity-rooted step (index-seeded) instead of cold.
-			s.resolve(ns, resp, entries, u, cfg, func() (*precompile.Entry, float64, *cmat.Matrix) {
-				m, uerr := u.Group.Unitary()
-				if uerr != nil {
-					return nil, 0, nil
-				}
-				cu := precompile.CanonicalUnitary(m)
-				seed, d := seedFor(ns, simFn, trainStep{uniq: u, unitary: cu, warmFrom: -1}, nil)
-				return seed, d, cu
-			}, tr)
-		}
-		trained := make([]*precompile.Entry, len(cold))
-		for _, st := range steps {
-			st := st
-			trained[st.cold] = s.resolve(ns, resp, entries, st.uniq, cfg,
-				func() (*precompile.Entry, float64, *cmat.Matrix) {
-					seed, d := seedFor(ns, simFn, st, trained)
-					return seed, d, st.unitary
-				}, tr)
-		}
-	}
-	if resp.WarmSeeded > 0 {
-		resp.SeedDistance = resp.seedDistanceSum / float64(resp.WarmSeeded)
-	}
-	if resp.TotalGroups > 0 {
-		resp.CoverageRate = float64(resp.CoveredGroups) / float64(resp.TotalGroups)
-	} else {
-		resp.CoverageRate = 1
-	}
-	resp.WarmServed = resp.UncoveredUnique == 0
-	return entries
-}
-
-func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	var req CompileRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.failures.Add(1)
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
-		return
-	}
-	res := s.dispatch(w, r, req, false, false)
-	if res == nil {
-		return
-	}
-	// Echo the explicit device routing; an empty request field keeps the
-	// single-device wire format byte for byte.
-	res.resp.Device = req.Device
-	s.compileNs.Add(int64(res.resp.CompileMillis * float64(time.Millisecond)))
-	writeJSON(w, http.StatusOK, res.resp)
-}
-
-// dispatch is the shared request lifecycle of the compile endpoints:
-// ingest the program, route the device field to its current-epoch
-// namespace, run one job through the worker pool, and apply the
-// failure/rejection accounting. A nil return means an error response has
-// already been written. r carries the request trace and ID planted by
-// the middleware (absent with observability off — every obs call below
-// is nil-safe).
-func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req CompileRequest, circuit, waveforms bool) *jobResult {
+// dispatch is the shared request lifecycle of the synchronous compile
+// endpoints: ingest the program, route the device field to its
+// current-epoch namespace, run one request through the training tier,
+// and apply the failure/rejection accounting. A nil return means an
+// error response has already been written. r carries the request trace
+// and ID planted by the middleware (absent with observability off —
+// every obs call below is nil-safe).
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req CompileRequest, circuit, waveforms bool) *compilesvc.Result {
 	tr := obs.TraceFrom(r.Context())
 	sp := tr.StartSpan("parse")
 	prog, err := s.ingest(req)
@@ -815,23 +376,49 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req CompileReq
 	tr.SetMeta(ns.DeviceName, ns.Epoch, prog.NumQubits, prog.GateCount())
 
 	begin := time.Now()
-	j := &job{prog: prog, ns: ns, circuit: circuit, waveforms: waveforms, trace: tr, queueSpan: tr.StartSpan("queue"), done: make(chan jobResult, 1)}
-	if err := s.enqueue(j); err != nil {
-		s.rejected.Add(1)
-		writeError(w, http.StatusServiceUnavailable, err)
-		return nil
-	}
-	// Wait for the worker even if the client goes away: the training is
-	// already paid for and warms the shared library.
-	res := <-j.done
-	s.observeCompile(ns.DeviceName, time.Since(begin))
-	if res.err != nil {
+	res, err := s.svc.Do(&compilesvc.Request{
+		Prog: prog, NS: ns, Circuit: circuit, Waveforms: waveforms, Trace: tr,
+	})
+	if err != nil {
+		if errors.Is(err, compilesvc.ErrQueueFull) || errors.Is(err, compilesvc.ErrClosed) {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return nil
+		}
+		// Pipeline failure: the request consumed a worker either way.
+		s.observeCompile(ns.DeviceName, time.Since(begin))
 		s.failures.Add(1)
-		s.logRequestError(r, "compile", res.err)
-		writeError(w, http.StatusInternalServerError, res.err)
+		s.logRequestError(r, "compile", err)
+		writeError(w, http.StatusInternalServerError, err)
 		return nil
 	}
-	return &res
+	s.observeCompile(ns.DeviceName, time.Since(begin))
+	return res
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req CompileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.failures.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	if wantsAsync(r) {
+		s.dispatchAsync(w, r, req, false, false)
+		return
+	}
+	res := s.dispatch(w, r, req, false, false)
+	if res == nil {
+		return
+	}
+	// Echo the explicit device routing; an empty request field keeps the
+	// single-device wire format byte for byte.
+	res.Resp.Device = req.Device
+	s.compileNs.Add(int64(res.Resp.CompileMillis * float64(time.Millisecond)))
+	writeJSON(w, http.StatusOK, res.Resp)
 }
 
 // logRequestError files one request failure with its request ID, so log
@@ -873,11 +460,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Requests:           s.requests.Load(),
 			Failures:           s.failures.Load(),
 			Rejected:           s.rejected.Load(),
+			RejectedAsync:      s.rejectedAsync.Load(),
 			TotalCompileMillis: float64(s.compileNs.Load()) / float64(time.Millisecond),
-			WarmSeeded:         s.warmSeeded.Load(),
-			Workers:            s.cfg.Workers,
-			QueueDepth:         s.cfg.QueueDepth,
+			WarmSeeded:         s.svc.WarmSeeded(),
+			Workers:            s.svc.Workers(),
+			QueueDepth:         s.svc.QueueCap(),
+			QueueLen:           s.svc.QueueLen(),
+			InFlight:           s.svc.InFlight(),
 		},
+	}
+	if s.jobStore != nil {
+		c := s.jobStore.Counts()
+		out.Server.Jobs = &c
 	}
 	if ns.Seeds != nil {
 		st := ns.Seeds.Stats()

@@ -99,6 +99,9 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	observability := flag.Bool("observability", true,
 		"expose /metrics and /debug/requests and record pipeline metrics/traces; false disables all instrumentation")
+	usageAcct := flag.Bool("usage", true,
+		"account per-entry training cost, request co-occurrence, and eviction regret per device (GET /v1/library/usage, /debug/costs, accqoc_usage_* metrics); false disables the ledgers")
+	usageHistory := flag.Int("usage-history", 256, "request-history ring size per device for the co-occurrence miner")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat, *logLevel)
@@ -218,6 +221,8 @@ func main() {
 		MaxGates:             *maxGates,
 		DisableSeedIndex:     !*seedIndex,
 		DisableObservability: !*observability,
+		DisableUsage:         !*usageAcct,
+		UsageHistorySize:     *usageHistory,
 		Logger:               logger,
 	})
 

@@ -36,6 +36,7 @@ import (
 	"accqoc/internal/seedindex"
 	"accqoc/internal/similarity"
 	"accqoc/internal/topology"
+	"accqoc/internal/usage"
 )
 
 // Profile is one device's identity at one calibration epoch: the coupling
@@ -85,6 +86,13 @@ type Config struct {
 	// candidate distance and admission verdict — the observability tap for
 	// the fleet-wide seed-distance histogram.
 	SeedObserver func(distance float64, admitted bool)
+	// DisableUsage turns off per-device cost-and-usage ledgers. With a
+	// ledger on, every epoch's store hook additionally feeds the device's
+	// usage.Ledger; the ledger outlives epochs, so cost history survives
+	// recalibrations.
+	DisableUsage bool
+	// Usage tunes the per-device ledgers (history-ring size, pair cap).
+	Usage usage.Options
 }
 
 // Namespace is one (device, epoch) serving context. Fields are immutable
@@ -105,6 +113,11 @@ type Namespace struct {
 	// CreatedAt is when the namespace (the calibration epoch) opened —
 	// the anchor for epoch-age gauges.
 	CreatedAt time.Time
+	// Usage is the owning device's cost ledger (shared across this
+	// device's epochs), nil when disabled. The training tier files each
+	// resolved request's key set here; store mutations and lookups feed it
+	// through the store hook.
+	Usage *usage.Ledger
 
 	dev      *deviceState
 	refs     atomic.Int64
@@ -203,6 +216,11 @@ type deviceState struct {
 	current  *Namespace
 	draining *Namespace
 	roll     RollStatus
+	// usage is the device's cost ledger, nil when disabled. It lives on
+	// the device, not the namespace: calibration epochs come and go, the
+	// accumulated cost history stays (keys are content addresses shared
+	// across epochs).
+	usage *usage.Ledger
 }
 
 func (d *deviceState) maybeRetire(ns *Namespace) {
@@ -277,6 +295,9 @@ func (r *Registry) register(p Profile, store *libstore.Store) error {
 		return fmt.Errorf("devreg: device %q already registered", p.Name)
 	}
 	d := &deviceState{name: p.Name}
+	if !r.cfg.DisableUsage {
+		d.usage = usage.NewLedger(r.cfg.Usage)
+	}
 	d.current = r.newNamespace(d, p, 0, nil, store)
 	r.devices[p.Name] = d
 	r.order = append(r.order, p.Name)
@@ -320,20 +341,40 @@ func (r *Registry) newNamespace(d *deviceState, p Profile, epoch int, parent *se
 		Comp:       accqoc.New(opts),
 		Store:      store,
 		CreatedAt:  time.Now(),
+		Usage:      d.usage,
 		dev:        d,
 	}
+	var seeds *seedindex.Index
 	if !r.cfg.DisableSeedIndex {
-		seeds := seedindex.New(ns.SimilarityFn(), p.Ham)
+		seeds = seedindex.New(ns.SimilarityFn(), p.Ham)
 		seeds.SetParent(parent)
 		if r.cfg.SeedObserver != nil {
 			seeds.SetObserver(r.cfg.SeedObserver)
 		}
-		// Hook first, backfill second: entries racing in between are
-		// indexed twice (idempotent), never missed.
-		store.SetHook(seeds)
-		seeds.AddLibrary(store.Snapshot())
-		ns.Seeds = seeds
 	}
+	// Hook first, backfill second: entries racing in between are
+	// delivered twice (idempotent in both the index and the ledger),
+	// never missed. The tee keeps the seed index and the device's usage
+	// ledger coherent off one registration; access (hit/miss) events
+	// reach only the ledger.
+	var hooks []libstore.Hook
+	if seeds != nil {
+		hooks = append(hooks, seeds)
+	}
+	if d.usage != nil {
+		hooks = append(hooks, d.usage)
+	}
+	if hook := libstore.TeeHooks(hooks...); hook != nil {
+		store.SetHook(hook)
+		snap := store.Snapshot()
+		if seeds != nil {
+			seeds.AddLibrary(snap)
+		}
+		if d.usage != nil {
+			d.usage.AddLibrary(snap)
+		}
+	}
+	ns.Seeds = seeds
 	return ns
 }
 
@@ -356,6 +397,22 @@ func (r *Registry) Acquire(name string) (*Namespace, error) {
 	ns.refs.Add(1)
 	d.mu.Unlock()
 	return ns, nil
+}
+
+// UsageLedger resolves a device name ("" = default) to its cost ledger.
+// The ledger is per-device and epoch-stable, so the returned pointer stays
+// valid across calibrations; it is nil when usage accounting is disabled.
+func (r *Registry) UsageLedger(name string) (*usage.Ledger, error) {
+	r.mu.RLock()
+	if name == "" {
+		name = r.def
+	}
+	d, ok := r.devices[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("devreg: unknown device %q", name)
+	}
+	return d.usage, nil
 }
 
 // Names returns the registered device names in registration order.

@@ -209,16 +209,17 @@ func DecodeSnapshotFingerprint(data []byte) (*precompile.Library, string, error)
 }
 
 // SaveSnapshot atomically writes the store's current entries to path with
-// no fingerprint (legacy layout).
+// no fingerprint (legacy layout). Per-entry hit counts are stamped into
+// the saved entries so a reload resumes the most-requested-first ordering.
 func (s *Store) SaveSnapshot(path string, format Format) error {
-	return SaveLibrary(s.Snapshot(), path, format)
+	return SaveLibrary(s.SnapshotWithHits(), path, format)
 }
 
 // SaveSnapshotFingerprint atomically writes the store's current entries to
 // path, stamped with the device+calibration fingerprint they were trained
-// under.
+// under and with per-entry hit counts.
 func (s *Store) SaveSnapshotFingerprint(path string, format Format, fingerprint string) error {
-	return SaveLibraryFingerprint(s.Snapshot(), path, format, fingerprint)
+	return SaveLibraryFingerprint(s.SnapshotWithHits(), path, format, fingerprint)
 }
 
 // SaveLibrary atomically writes a library snapshot to path.

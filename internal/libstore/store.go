@@ -75,7 +75,77 @@ type Hook interface {
 	EntryRemoved(key string)
 }
 
-type hookCell struct{ h Hook }
+// AccessHook is an optional Hook extension observing lookups: EntryHit
+// fires on every Get/GetOrTrain that found the key, EntryMissed on every
+// one that did not (whether the caller then trains, joins an in-flight
+// training, or gives up). Both run under the shard lock with the same
+// constraints as Hook. Whether a registered Hook implements AccessHook is
+// resolved once at SetHook time, so stores without one pay a single nil
+// check per lookup.
+type AccessHook interface {
+	EntryHit(key string)
+	EntryMissed(key string)
+}
+
+type hookCell struct {
+	h Hook
+	a AccessHook // h's AccessHook view, nil when not implemented
+}
+
+// teeHook fans mutations out to several hooks in order; access events go
+// only to the members that observe them.
+type teeHook struct {
+	hooks  []Hook
+	access []AccessHook
+}
+
+func (t *teeHook) EntryAdded(e *precompile.Entry) {
+	for _, h := range t.hooks {
+		h.EntryAdded(e)
+	}
+}
+
+func (t *teeHook) EntryRemoved(key string) {
+	for _, h := range t.hooks {
+		h.EntryRemoved(key)
+	}
+}
+
+func (t *teeHook) EntryHit(key string) {
+	for _, a := range t.access {
+		a.EntryHit(key)
+	}
+}
+
+func (t *teeHook) EntryMissed(key string) {
+	for _, a := range t.access {
+		a.EntryMissed(key)
+	}
+}
+
+// TeeHooks combines several hooks into one, for stores with more than one
+// derived structure to keep coherent (seed index + usage ledger). Nil
+// members are skipped; members implementing AccessHook also receive
+// hit/miss events.
+func TeeHooks(hooks ...Hook) Hook {
+	t := &teeHook{}
+	for _, h := range hooks {
+		if h == nil {
+			continue
+		}
+		t.hooks = append(t.hooks, h)
+		if a, ok := h.(AccessHook); ok {
+			t.access = append(t.access, a)
+		}
+	}
+	switch len(t.hooks) {
+	case 0:
+		return nil
+	case 1:
+		return t.hooks[0]
+	}
+	return t
+}
 
 // Stats is a point-in-time counter snapshot.
 type Stats struct {
@@ -165,7 +235,13 @@ func New(opts Options) *Store {
 // racing with the registration may be missed; callers that need a
 // complete view (e.g. the seed index) should backfill from Snapshot()
 // after registering.
-func (s *Store) SetHook(h Hook) { s.hook.Store(&hookCell{h: h}) }
+func (s *Store) SetHook(h Hook) {
+	c := &hookCell{h: h}
+	if a, ok := h.(AccessHook); ok {
+		c.a = a
+	}
+	s.hook.Store(c)
+}
 
 func (s *Store) hookAdded(e *precompile.Entry) {
 	if c := s.hook.Load(); c != nil && c.h != nil {
@@ -176,6 +252,18 @@ func (s *Store) hookAdded(e *precompile.Entry) {
 func (s *Store) hookRemoved(key string) {
 	if c := s.hook.Load(); c != nil && c.h != nil {
 		c.h.EntryRemoved(key)
+	}
+}
+
+func (s *Store) hookHit(key string) {
+	if c := s.hook.Load(); c != nil && c.a != nil {
+		c.a.EntryHit(key)
+	}
+}
+
+func (s *Store) hookMissed(key string) {
+	if c := s.hook.Load(); c != nil && c.a != nil {
+		c.a.EntryMissed(key)
 	}
 }
 
@@ -197,20 +285,20 @@ func (s *Store) shardFor(key string) *shard {
 func (s *Store) Get(key string) (*precompile.Entry, bool) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	var entry *precompile.Entry
 	el, ok := sh.items[key]
-	if ok {
-		sh.lru.MoveToFront(el)
-		// Read under the lock: Put replaces node.entry in place.
-		n := el.Value.(*node)
-		n.hits++
-		entry = n.entry
-	}
-	sh.mu.Unlock()
 	if !ok {
+		s.hookMissed(key)
+		sh.mu.Unlock()
 		s.misses.Add(1)
 		return nil, false
 	}
+	sh.lru.MoveToFront(el)
+	// Read under the lock: Put replaces node.entry in place.
+	n := el.Value.(*node)
+	n.hits++
+	entry := n.entry
+	s.hookHit(key)
+	sh.mu.Unlock()
 	s.hits.Add(1)
 	return entry, true
 }
@@ -244,7 +332,10 @@ func (s *Store) putLocked(sh *shard, e *precompile.Entry) {
 		s.hookAdded(e)
 		return
 	}
-	sh.items[e.Key] = sh.lru.PushFront(&node{key: e.Key, entry: e})
+	// A fresh insert adopts the entry's carried hit count, so a
+	// snapshot-loaded library resumes its KeysByHits ordering instead of
+	// starting every entry at zero.
+	sh.items[e.Key] = sh.lru.PushFront(&node{key: e.Key, entry: e, hits: e.Hits})
 	s.inserts.Add(1)
 	s.hookAdded(e)
 	if sh.cap > 0 {
@@ -299,10 +390,12 @@ func (s *Store) GetOrTrain(key string, train func() (*precompile.Entry, error)) 
 		n := el.Value.(*node)
 		n.hits++
 		entry := n.entry
+		s.hookHit(key)
 		sh.mu.Unlock()
 		s.hits.Add(1)
 		return entry, OutcomeHit, nil
 	}
+	s.hookMissed(key)
 	s.misses.Add(1)
 	if c, ok := sh.flight[key]; ok {
 		sh.mu.Unlock()
@@ -404,6 +497,26 @@ func (s *Store) Snapshot() *precompile.Library {
 		sh.mu.Lock()
 		for k, el := range sh.items {
 			lib.Entries[k] = el.Value.(*node).entry
+		}
+		sh.mu.Unlock()
+	}
+	return lib
+}
+
+// SnapshotWithHits is Snapshot with each entry's Hits field stamped from
+// the live per-entry hit counter — the persistence path, so a reloaded
+// library resumes its most-requested-first ordering. Entries are shallow
+// copies (the live store's entries stay un-mutated; the shared Pulse is
+// immutable by convention).
+func (s *Store) SnapshotWithHits() *precompile.Library {
+	lib := precompile.NewLibrary()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k, el := range sh.items {
+			n := el.Value.(*node)
+			e := *n.entry
+			e.Hits = n.hits
+			lib.Entries[k] = &e
 		}
 		sh.mu.Unlock()
 	}

@@ -163,8 +163,9 @@ type family struct {
 	cells map[string]*cell
 	order []string // cell keys in first-use order (render re-sorts)
 
-	gaugeFn func() float64 // GaugeFunc families
-	collect func(Emit)     // CollectCounters/CollectGauges families
+	gaugeFn     func() float64           // GaugeFunc families
+	collect     func(Emit)               // CollectCounters/CollectGauges families
+	collectHist func() HistogramSnapshot // CollectHistogram families
 }
 
 type cell struct {
@@ -340,6 +341,25 @@ func (r *Registry) CollectGauges(name, help string, labels []string, collect fun
 	f.collect = collect
 }
 
+// HistogramSnapshot is a scrape-time histogram reading for
+// CollectHistogram families: ascending upper bounds with an implicit +Inf
+// bucket, non-cumulative per-bucket counts (len(Bounds)+1; any extra
+// counts fold into +Inf), and the observation sum (NaN when the source
+// does not track one, e.g. runtime/metrics pause histograms).
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+}
+
+// CollectHistogram registers an unlabeled histogram family whose buckets
+// are read at scrape time — the bridge for histograms owned elsewhere
+// (the Go runtime's GC-pause distribution).
+func (r *Registry) CollectHistogram(name, help string, collect func() HistogramSnapshot) {
+	f := r.register(name, help, histogramType, nil, nil)
+	f.collectHist = collect
+}
+
 func escapeLabel(v string) string {
 	if !strings.ContainsAny(v, `\"`+"\n") {
 		return v
@@ -423,6 +443,29 @@ func (r *Registry) WriteText(w io.Writer) error {
 func (f *family) writeSamples(w io.Writer) error {
 	if f.gaugeFn != nil {
 		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatValue(f.gaugeFn()))
+		return err
+	}
+	if f.collectHist != nil {
+		h := f.collectHist()
+		var cum uint64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(nil, nil, "le", formatValue(bound)), cum); err != nil {
+				return err
+			}
+		}
+		for i := len(h.Bounds); i < len(h.Counts); i++ {
+			cum += h.Counts[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(nil, nil, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", f.name, formatValue(h.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count %d\n", f.name, cum)
 		return err
 	}
 	if f.collect != nil {

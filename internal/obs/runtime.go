@@ -1,0 +1,85 @@
+package obs
+
+// Go runtime telemetry for /metrics, read through runtime/metrics lazily
+// at scrape time: an idle server pays nothing, and a scrape pays one
+// metrics.Read (no stop-the-world, unlike runtime.ReadMemStats). The
+// GC-pause distribution arrives as the runtime's own variable-boundary
+// histogram and is folded into fixed exponential buckets so the exposed
+// family has stable bounds across Go versions.
+
+import (
+	"math"
+	runtimemetrics "runtime/metrics"
+)
+
+const (
+	goroutinesMetric  = "/sched/goroutines:goroutines"
+	heapObjectsMetric = "/memory/classes/heap/objects:bytes"
+	heapUnusedMetric  = "/memory/classes/heap/unused:bytes"
+	gcPausesMetric    = "/sched/pauses/total/gc:seconds"
+)
+
+// readUint64 samples one uint64 runtime metric, 0 when unsupported.
+func readUint64(name string) float64 {
+	s := []runtimemetrics.Sample{{Name: name}}
+	runtimemetrics.Read(s)
+	if s[0].Value.Kind() != runtimemetrics.KindUint64 {
+		return 0
+	}
+	return float64(s[0].Value.Uint64())
+}
+
+// gcPauseBounds are the fixed upper bounds (seconds) the runtime's pause
+// histogram is folded into: 1µs .. ~4s, factor 4.
+func gcPauseBounds() []float64 { return ExponentialBuckets(1e-6, 4, 12) }
+
+// readGCPauses folds the runtime's GC stop-the-world pause histogram into
+// the fixed bounds. The runtime tracks no pause sum, so Sum is NaN (the
+// exposition renders it literally; rate math should use _count and
+// _bucket).
+func readGCPauses() HistogramSnapshot {
+	bounds := gcPauseBounds()
+	out := HistogramSnapshot{
+		Bounds: bounds,
+		Counts: make([]uint64, len(bounds)+1),
+		Sum:    math.NaN(),
+	}
+	s := []runtimemetrics.Sample{{Name: gcPausesMetric}}
+	runtimemetrics.Read(s)
+	if s[0].Value.Kind() != runtimemetrics.KindFloat64Histogram {
+		return out
+	}
+	h := s[0].Value.Float64Histogram()
+	if h == nil {
+		return out
+	}
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		// The bucket spans (Buckets[i], Buckets[i+1]]; file its count
+		// under the first fixed bound covering its upper edge.
+		upper := math.Inf(1)
+		if i+1 < len(h.Buckets) {
+			upper = h.Buckets[i+1]
+		}
+		j := 0
+		for j < len(bounds) && upper > bounds[j] {
+			j++
+		}
+		out.Counts[j] += count
+	}
+	return out
+}
+
+// RegisterRuntimeMetrics adds the Go runtime families to a registry:
+// goroutine count, heap in-use bytes, and the GC-pause histogram. All
+// three are read lazily at scrape time.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("accqoc_go_goroutines", "Live goroutines.",
+		func() float64 { return readUint64(goroutinesMetric) })
+	r.GaugeFunc("accqoc_go_heap_inuse_bytes", "Heap memory in use (spans holding live objects, unused slack included).",
+		func() float64 { return readUint64(heapObjectsMetric) + readUint64(heapUnusedMetric) })
+	r.CollectHistogram("accqoc_go_gc_pause_seconds", "Distribution of GC stop-the-world pause durations since boot.",
+		readGCPauses)
+}

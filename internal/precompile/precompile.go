@@ -83,7 +83,9 @@ func SegmentsFor(numQubits int) int {
 	}
 }
 
-// Entry is one trained library pulse.
+// Entry is one trained library pulse. The cost-provenance fields
+// (TrainWallNs, Seeded, Hits) are zero-valued on entries predating them,
+// so old snapshots decode unchanged (gob and omitempty both skip zeros).
 type Entry struct {
 	Key        string       `json:"key"`
 	NumQubits  int          `json:"num_qubits"`
@@ -92,6 +94,15 @@ type Entry struct {
 	Iterations int          `json:"iterations"` // training cost
 	Frequency  int          `json:"frequency"`  // occurrences during profiling
 	Infidelity float64      `json:"infidelity"`
+	// TrainWallNs is the wall-clock time the training that produced this
+	// pulse spent in the optimizer (binary search included).
+	TrainWallNs float64 `json:"train_wall_ns,omitempty"`
+	// Seeded records whether that training warm-started from a seed pulse.
+	Seeded bool `json:"seeded,omitempty"`
+	// Hits carries the per-entry lookup count across snapshot save/load —
+	// the store's live counter is authoritative while the entry is
+	// resident (see libstore.Store.SnapshotWithHits).
+	Hits int64 `json:"hits,omitempty"`
 }
 
 // Library is a pulse cache keyed by canonical group matrix.

@@ -2,6 +2,7 @@ package precompile
 
 import (
 	"fmt"
+	"time"
 
 	"accqoc/internal/cmat"
 	"accqoc/internal/grape"
@@ -37,7 +38,9 @@ func TrainGroup(g *grouping.UniqueGroup, cfg Config, seed *Entry) (*Entry, error
 		seedPulse = seed.Pulse
 		sopts.HintDuration = seed.LatencyNs
 	}
+	begin := time.Now()
 	res, err := grape.CompileBinarySearch(sys, cu, gopts, sopts, seedPulse)
+	wall := time.Since(begin)
 	if err != nil {
 		return nil, fmt.Errorf("precompile: group %s unreachable in bracket: %w", g.Key, err)
 	}
@@ -45,13 +48,15 @@ func TrainGroup(g *grouping.UniqueGroup, cfg Config, seed *Entry) (*Entry, error
 		cfg.Observer(g.NumQubits, res.TotalIterations, res.Infidelity, seedPulse != nil)
 	}
 	return &Entry{
-		Key:        g.Key,
-		NumQubits:  g.NumQubits,
-		Pulse:      res.Pulse,
-		LatencyNs:  res.Duration,
-		Iterations: res.TotalIterations,
-		Frequency:  g.Count,
-		Infidelity: res.Infidelity,
+		Key:         g.Key,
+		NumQubits:   g.NumQubits,
+		Pulse:       res.Pulse,
+		LatencyNs:   res.Duration,
+		Iterations:  res.TotalIterations,
+		Frequency:   g.Count,
+		Infidelity:  res.Infidelity,
+		TrainWallNs: float64(wall.Nanoseconds()),
+		Seeded:      seedPulse != nil,
 	}, nil
 }
 
@@ -75,7 +80,9 @@ func RetrainEntry(e *Entry, u *cmat.Matrix, cfg Config) (*Entry, error) {
 	if e.Pulse != nil && e.LatencyNs > 0 {
 		sopts.HintDuration = e.LatencyNs
 	}
+	begin := time.Now()
 	res, err := grape.CompileBinarySearch(sys, u, gopts, sopts, e.Pulse)
+	wall := time.Since(begin)
 	if err != nil {
 		return nil, fmt.Errorf("precompile: retrain %s unreachable in bracket: %w", e.Key, err)
 	}
@@ -83,13 +90,15 @@ func RetrainEntry(e *Entry, u *cmat.Matrix, cfg Config) (*Entry, error) {
 		cfg.Observer(e.NumQubits, res.TotalIterations, res.Infidelity, e.Pulse != nil)
 	}
 	return &Entry{
-		Key:        e.Key,
-		NumQubits:  e.NumQubits,
-		Pulse:      res.Pulse,
-		LatencyNs:  res.Duration,
-		Iterations: res.TotalIterations,
-		Frequency:  e.Frequency,
-		Infidelity: res.Infidelity,
+		Key:         e.Key,
+		NumQubits:   e.NumQubits,
+		Pulse:       res.Pulse,
+		LatencyNs:   res.Duration,
+		Iterations:  res.TotalIterations,
+		Frequency:   e.Frequency,
+		Infidelity:  res.Infidelity,
+		TrainWallNs: float64(wall.Nanoseconds()),
+		Seeded:      e.Pulse != nil,
 	}, nil
 }
 

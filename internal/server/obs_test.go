@@ -120,33 +120,47 @@ func TestMetricsExposition(t *testing.T) {
 	exp := scrapeMetrics(t, ts.URL)
 
 	wantTypes := map[string]string{
-		"accqoc_http_requests_total":              "counter",
-		"accqoc_http_request_duration_seconds":    "histogram",
-		"accqoc_http_in_flight":                   "gauge",
-		"accqoc_compile_duration_seconds":         "histogram",
-		"accqoc_grape_training_iterations":        "histogram",
-		"accqoc_grape_training_infidelity":        "histogram",
-		"accqoc_grape_optimizer_iterations_total": "counter",
-		"accqoc_grape_step_norm":                  "histogram",
-		"accqoc_seed_distance":                    "histogram",
-		"accqoc_seed_lookups_total":               "counter",
-		"accqoc_store_hits_total":                 "counter",
-		"accqoc_store_misses_total":               "counter",
-		"accqoc_store_evictions_total":            "counter",
-		"accqoc_store_inserts_total":              "counter",
-		"accqoc_store_trainings_total":            "counter",
-		"accqoc_store_coalesced_total":            "counter",
-		"accqoc_store_train_failures_total":       "counter",
-		"accqoc_store_entries":                    "gauge",
-		"accqoc_device_epoch":                     "gauge",
-		"accqoc_device_epoch_age_seconds":         "gauge",
-		"accqoc_roll_active":                      "gauge",
-		"accqoc_roll_planned":                     "gauge",
-		"accqoc_roll_pending":                     "gauge",
-		"accqoc_queue_depth":                      "gauge",
-		"accqoc_compile_in_flight":                "gauge",
-		"accqoc_jobs":                             "gauge",
-		"accqoc_jobs_rejected_total":              "counter",
+		"accqoc_http_requests_total":               "counter",
+		"accqoc_http_request_duration_seconds":     "histogram",
+		"accqoc_http_in_flight":                    "gauge",
+		"accqoc_compile_duration_seconds":          "histogram",
+		"accqoc_grape_training_iterations":         "histogram",
+		"accqoc_grape_training_infidelity":         "histogram",
+		"accqoc_grape_optimizer_iterations_total":  "counter",
+		"accqoc_grape_step_norm":                   "histogram",
+		"accqoc_seed_distance":                     "histogram",
+		"accqoc_seed_lookups_total":                "counter",
+		"accqoc_store_hits_total":                  "counter",
+		"accqoc_store_misses_total":                "counter",
+		"accqoc_store_evictions_total":             "counter",
+		"accqoc_store_inserts_total":               "counter",
+		"accqoc_store_trainings_total":             "counter",
+		"accqoc_store_coalesced_total":             "counter",
+		"accqoc_store_train_failures_total":        "counter",
+		"accqoc_store_entries":                     "gauge",
+		"accqoc_device_epoch":                      "gauge",
+		"accqoc_device_epoch_age_seconds":          "gauge",
+		"accqoc_roll_active":                       "gauge",
+		"accqoc_roll_planned":                      "gauge",
+		"accqoc_roll_pending":                      "gauge",
+		"accqoc_queue_depth":                       "gauge",
+		"accqoc_compile_in_flight":                 "gauge",
+		"accqoc_jobs":                              "gauge",
+		"accqoc_jobs_rejected_total":               "counter",
+		"accqoc_usage_requests_total":              "counter",
+		"accqoc_usage_tracked_keys":                "gauge",
+		"accqoc_usage_training_iterations_total":   "counter",
+		"accqoc_usage_training_wall_seconds_total": "counter",
+		"accqoc_usage_trainings_total":             "counter",
+		"accqoc_usage_hits_total":                  "counter",
+		"accqoc_usage_regret_events_total":         "counter",
+		"accqoc_usage_regret_iterations_total":     "counter",
+		"accqoc_usage_regret_wall_seconds_total":   "counter",
+		"accqoc_usage_cooccurrence_pairs":          "gauge",
+		"accqoc_usage_cooccurrence_dropped_total":  "counter",
+		"accqoc_go_goroutines":                     "gauge",
+		"accqoc_go_heap_inuse_bytes":               "gauge",
+		"accqoc_go_gc_pause_seconds":               "histogram",
 	}
 	for name, typ := range wantTypes {
 		if got := exp.types[name]; got != typ {
@@ -173,6 +187,17 @@ func TestMetricsExposition(t *testing.T) {
 		`accqoc_jobs{state="done"}`,
 		`accqoc_jobs{state="failed"}`,
 		`accqoc_jobs_rejected_total`,
+		`accqoc_usage_requests_total{device="default"}`,
+		`accqoc_usage_tracked_keys{device="default"}`,
+		`accqoc_usage_training_iterations_total{device="default"}`,
+		`accqoc_usage_trainings_total{device="default",seeded="false"}`,
+		`accqoc_usage_hits_total{device="default"}`,
+		`accqoc_usage_regret_events_total{device="default"}`,
+		`accqoc_usage_cooccurrence_pairs{device="default"}`,
+		`accqoc_go_goroutines`,
+		`accqoc_go_heap_inuse_bytes`,
+		`accqoc_go_gc_pause_seconds_bucket{le="+Inf"}`,
+		`accqoc_go_gc_pause_seconds_count`,
 	} {
 		if _, ok := exp.samples[series]; !ok {
 			t.Errorf("series %s missing from exposition", series)
@@ -191,6 +216,15 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	if exp.samples[`accqoc_store_hits_total{device="default"}`] <= 0 {
 		t.Error("warm request produced no store hits in /metrics")
+	}
+	if got := exp.samples[`accqoc_usage_requests_total{device="default"}`]; got != 2 {
+		t.Errorf("usage_requests_total = %v, want 2", got)
+	}
+	if exp.samples[`accqoc_usage_hits_total{device="default"}`] <= 0 {
+		t.Error("warm request produced no ledger hits in /metrics")
+	}
+	if exp.samples[`accqoc_go_goroutines`] <= 0 {
+		t.Error("goroutine gauge not positive")
 	}
 }
 

@@ -44,6 +44,7 @@ import (
 	"accqoc/internal/obs"
 	"accqoc/internal/qasm"
 	"accqoc/internal/seedindex"
+	"accqoc/internal/usage"
 	"accqoc/internal/workload"
 )
 
@@ -113,6 +114,16 @@ type Config struct {
 	// traces and the N slowest are kept for GET /debug/requests.
 	// Default 64.
 	FlightRecorderSize int
+	// DisableUsage turns off cost-and-usage accounting: no per-device
+	// ledgers, no GET /v1/library/usage or /debug/costs routes, no
+	// accqoc_usage_* metric families. Usage is independent of
+	// DisableObservability (the endpoints work without /metrics); it is
+	// policy-free either way — responses and trained libraries are
+	// bit-identical with it on or off.
+	DisableUsage bool
+	// UsageHistorySize bounds the per-device request-history ring the
+	// co-occurrence miner reads. Default 256.
+	UsageHistorySize int
 	// Logger receives the server's structured events (boot-snapshot load,
 	// calibration epochs, request failures), each stamped with the
 	// request ID when one is in scope. Default slog.Default().
@@ -176,10 +187,10 @@ type StatsResponse struct {
 // live queue/in-flight readings (reported through the CompileService
 // interface — the routing tier holds no pipeline state of its own).
 type ServerStats struct {
-	UptimeSeconds      float64 `json:"uptime_seconds"`
-	Requests           int64   `json:"requests"`
-	Failures           int64   `json:"failures"`
-	Rejected           int64   `json:"rejected"` // queue-full 503s (sync)
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	Failures      int64   `json:"failures"`
+	Rejected      int64   `json:"rejected"` // queue-full 503s (sync)
 	// RejectedAsync counts async submissions refused with 503 (job store
 	// at capacity, or shutdown).
 	RejectedAsync      int64   `json:"rejected_async"`
@@ -249,6 +260,8 @@ func New(cfg Config) *Server {
 		Base:             cfg.Compile,
 		StoreOptions:     cfg.StoreOptions,
 		DisableSeedIndex: cfg.DisableSeedIndex,
+		DisableUsage:     cfg.DisableUsage,
+		Usage:            usage.Options{HistorySize: cfg.UsageHistorySize},
 	}
 	if !cfg.DisableObservability {
 		ob = newObsState(cfg.FlightRecorderSize)
@@ -297,8 +310,16 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", false, s.handleJobGet))
 		s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs", false, s.handleJobDelete))
 	}
+	if !cfg.DisableUsage {
+		s.mux.HandleFunc("GET /v1/library/usage", s.instrument("/v1/library/usage", false, s.handleUsage))
+		s.mux.HandleFunc("GET /debug/costs", s.handleDebugCosts)
+	}
 	if ob != nil {
 		s.registerCollectors()
+		obs.RegisterRuntimeMetrics(ob.reg)
+		if !cfg.DisableUsage {
+			s.registerUsageCollectors()
+		}
 		s.mux.Handle("GET /metrics", ob.reg.Handler())
 		s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	}

@@ -1,0 +1,131 @@
+package server
+
+// The cost-and-usage surface: GET /v1/library/usage (per-device top-N
+// cost report, co-occurrence pairs, eviction regret), GET /debug/costs
+// (the full multi-device ledger dump next to /debug/requests), and the
+// accqoc_usage_* metric families. All of it reads the per-device
+// usage.Ledger owned by the device registry; nothing here feeds back into
+// serving decisions. The endpoints are gated on Config.DisableUsage alone
+// — they work with observability off — while the metric families
+// additionally need /metrics, i.e. observability on.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"accqoc/internal/obs"
+	"accqoc/internal/usage"
+)
+
+// usageDefaultTopN bounds the /v1/library/usage report when no ?n= is
+// given; usageMaxTopN caps an explicit one.
+const (
+	usageDefaultTopN = 20
+	usageMaxTopN     = 1000
+)
+
+// UsageResponse is the GET /v1/library/usage body: one device's cost
+// report (top entries by iterations×hits, co-occurrence pairs, regret
+// totals) stamped with the device it describes.
+type UsageResponse struct {
+	Device string `json:"device"`
+	usage.Report
+}
+
+func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
+	device := r.URL.Query().Get("device")
+	n := usageDefaultTopN
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", raw))
+			return
+		}
+		if v > usageMaxTopN {
+			v = usageMaxTopN
+		}
+		n = v
+	}
+	ledger, err := s.registry.UsageLedger(device)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if device == "" {
+		device = s.registry.DefaultName()
+	}
+	writeJSON(w, http.StatusOK, UsageResponse{Device: device, Report: ledger.Report(n)})
+}
+
+// DebugCostsResponse is the GET /debug/costs body: every device's full
+// ledger report, in registration order.
+type DebugCostsResponse struct {
+	Devices []UsageResponse `json:"devices"`
+}
+
+func (s *Server) handleDebugCosts(w http.ResponseWriter, r *http.Request) {
+	out := DebugCostsResponse{Devices: []UsageResponse{}}
+	for _, name := range s.registry.Names() {
+		ledger, err := s.registry.UsageLedger(name)
+		if err != nil || ledger == nil {
+			continue
+		}
+		out.Devices = append(out.Devices, UsageResponse{Device: name, Report: ledger.Report(usageMaxTopN)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// registerUsageCollectors installs the accqoc_usage_* scrape-time
+// families. Like the store collectors these read external counters only
+// when /metrics is scraped; one ledger Stats() per device per family.
+func (s *Server) registerUsageCollectors() {
+	r := s.obs.reg
+	dev := []string{"device"}
+	perDevice := func(emit func(obs.Emit, string, usage.Stats)) func(obs.Emit) {
+		return func(e obs.Emit) {
+			for _, name := range s.registry.Names() {
+				ledger, err := s.registry.UsageLedger(name)
+				if err != nil || ledger == nil {
+					continue
+				}
+				emit(e, name, ledger.Stats())
+			}
+		}
+	}
+	counter := func(name, help string, get func(usage.Stats) float64) {
+		r.CollectCounters(name, help, dev, perDevice(func(e obs.Emit, d string, st usage.Stats) {
+			e(get(st), d)
+		}))
+	}
+	gauge := func(name, help string, get func(usage.Stats) float64) {
+		r.CollectGauges(name, help, dev, perDevice(func(e obs.Emit, d string, st usage.Stats) {
+			e(get(st), d)
+		}))
+	}
+	counter("accqoc_usage_requests_total", "Request/batch windows filed with the cost ledger, by device.",
+		func(st usage.Stats) float64 { return float64(st.Requests) })
+	gauge("accqoc_usage_tracked_keys", "Keys with accumulated cost history in the ledger, by device (epoch-stable).",
+		func(st usage.Stats) float64 { return float64(st.TrackedKeys) })
+	counter("accqoc_usage_training_iterations_total", "Observed GRAPE iterations accumulated by the cost ledger, by device.",
+		func(st usage.Stats) float64 { return float64(st.Iterations) })
+	counter("accqoc_usage_training_wall_seconds_total", "Observed training wall time accumulated by the cost ledger, by device.",
+		func(st usage.Stats) float64 { return st.TrainWallSeconds })
+	r.CollectCounters("accqoc_usage_trainings_total", "Trainings accounted by the cost ledger, by device and warm-start provenance.",
+		[]string{"device", "seeded"}, perDevice(func(e obs.Emit, d string, st usage.Stats) {
+			e(float64(st.Seeded), d, "true")
+			e(float64(st.Cold), d, "false")
+		}))
+	counter("accqoc_usage_hits_total", "Per-entry lookup hits accumulated by the cost ledger, by device (snapshot-carried counts included).",
+		func(st usage.Stats) float64 { return float64(st.Hits) })
+	counter("accqoc_usage_regret_events_total", "Evicted entries requested again (one regret charge per eviction), by device.",
+		func(st usage.Stats) float64 { return float64(st.RegretEvents) })
+	counter("accqoc_usage_regret_iterations_total", "Training iterations whose product was evicted and then missed, by device.",
+		func(st usage.Stats) float64 { return float64(st.RegretIterations) })
+	counter("accqoc_usage_regret_wall_seconds_total", "Training wall time whose product was evicted and then missed, by device.",
+		func(st usage.Stats) float64 { return st.RegretWallSecs })
+	gauge("accqoc_usage_cooccurrence_pairs", "Distinct co-occurring key pairs tracked by the request-history miner, by device.",
+		func(st usage.Stats) float64 { return float64(st.Pairs) })
+	counter("accqoc_usage_cooccurrence_dropped_total", "Pair observations dropped at the pair-map cap (nonzero = pair counts undercount), by device.",
+		func(st usage.Stats) float64 { return float64(st.DroppedPairs) })
+}

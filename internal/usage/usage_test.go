@@ -1,0 +1,237 @@
+package usage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"accqoc/internal/precompile"
+)
+
+func entry(key string, iters int, wallNs float64, seeded bool) *precompile.Entry {
+	return &precompile.Entry{
+		Key:         key,
+		NumQubits:   1,
+		Iterations:  iters,
+		TrainWallNs: wallNs,
+		Seeded:      seeded,
+	}
+}
+
+// TestLedgerAccumulation pins the core accounting: trainings, provenance,
+// iterations, wall time, hits, and the same-entry idempotency of
+// EntryAdded (hook-then-backfill double delivery).
+func TestLedgerAccumulation(t *testing.T) {
+	l := NewLedger(Options{})
+	a := entry("a", 100, 5e6, false)
+	l.EntryAdded(a)
+	l.EntryAdded(a) // backfill re-delivery: must not recount
+	l.EntryHit("a")
+	l.EntryHit("a")
+	l.EntryAdded(entry("a", 40, 2e6, true)) // epoch re-training accumulates
+	l.EntryAdded(entry("b", 7, 1e6, true))
+
+	rep := l.Report(0)
+	if rep.TrackedKeys != 2 {
+		t.Fatalf("tracked keys = %d, want 2", rep.TrackedKeys)
+	}
+	if rep.Totals.Trainings != 3 || rep.Totals.Seeded != 2 || rep.Totals.Cold != 1 {
+		t.Fatalf("totals trainings/seeded/cold = %d/%d/%d, want 3/2/1",
+			rep.Totals.Trainings, rep.Totals.Seeded, rep.Totals.Cold)
+	}
+	if rep.Totals.Iterations != 147 {
+		t.Fatalf("total iterations = %d, want 147", rep.Totals.Iterations)
+	}
+	if rep.Totals.Hits != 2 {
+		t.Fatalf("total hits = %d, want 2", rep.Totals.Hits)
+	}
+	if got, want := rep.Totals.TrainWallMillis, 8.0; got != want {
+		t.Fatalf("total wall millis = %v, want %v", got, want)
+	}
+	// Ranking: score = iterations × hits, so "a" (140×2) beats "b" (7×0).
+	if rep.Top[0].Key != "a" || rep.Top[0].Score != 280 {
+		t.Fatalf("top[0] = %+v, want key a score 280", rep.Top[0])
+	}
+	if rep.Top[0].Trainings != 2 || rep.Top[0].Seeded != 1 || rep.Top[0].Cold != 1 {
+		t.Fatalf("row a provenance = %+v", rep.Top[0])
+	}
+}
+
+// TestLedgerSnapshotCarriedHits pins the restart path: an entry loaded
+// with a nonzero Hits field seeds its row's hit count exactly once, even
+// when the entry is re-delivered or later replaced.
+func TestLedgerSnapshotCarriedHits(t *testing.T) {
+	l := NewLedger(Options{})
+	e := entry("a", 10, 0, false)
+	e.Hits = 7
+	l.EntryAdded(e)
+	l.EntryAdded(e) // re-delivery
+	if st := l.Stats(); st.Hits != 7 {
+		t.Fatalf("hits after carried load = %d, want 7", st.Hits)
+	}
+	repl := entry("a", 3, 0, true)
+	repl.Hits = 7 // a replace with the same carried count must not double
+	l.EntryAdded(repl)
+	if st := l.Stats(); st.Hits != 7 {
+		t.Fatalf("hits after replace = %d, want 7", st.Hits)
+	}
+}
+
+// TestLedgerRegret pins the eviction-regret latch: the first post-eviction
+// miss charges the row's accumulated cost once; further misses only count;
+// a re-add re-arms the latch.
+func TestLedgerRegret(t *testing.T) {
+	l := NewLedger(Options{})
+	l.EntryAdded(entry("a", 50, 3e6, false))
+	l.EntryMissed("zzz") // unknown key: no row, no regret
+	l.EntryRemoved("a")
+	if st := l.Stats(); st.RegretEvents != 0 || st.Evictions != 1 {
+		t.Fatalf("eviction alone charged regret: %+v", st)
+	}
+	l.EntryMissed("a")
+	l.EntryMissed("a")
+	st := l.Stats()
+	if st.RegretEvents != 1 || st.RegretIterations != 50 {
+		t.Fatalf("regret events/iterations = %d/%d, want 1/50", st.RegretEvents, st.RegretIterations)
+	}
+	if got, want := st.RegretWallSecs, 3e-3; got != want {
+		t.Fatalf("regret wall = %v, want %v", got, want)
+	}
+
+	// Re-train (re-add) then evict and miss again: a second charge, now
+	// with the accumulated cost of both trainings.
+	l.EntryAdded(entry("a", 10, 1e6, true))
+	l.EntryRemoved("a")
+	l.EntryMissed("a")
+	st = l.Stats()
+	if st.RegretEvents != 2 || st.RegretIterations != 50+60 {
+		t.Fatalf("second regret events/iterations = %d/%d, want 2/110", st.RegretEvents, st.RegretIterations)
+	}
+
+	rep := l.Report(0)
+	if rep.Top[0].MissesEvicted != 3 || rep.Top[0].Evictions != 2 {
+		t.Fatalf("row misses/evictions = %d/%d, want 3/2", rep.Top[0].MissesEvicted, rep.Top[0].Evictions)
+	}
+}
+
+// TestLedgerCoOccurrence pins the request-history miner: unordered pair
+// counts, per-key inter-arrival means under a fake clock, and the report
+// ordering.
+func TestLedgerCoOccurrence(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	l := NewLedger(Options{now: func() time.Time { return clock }})
+	l.RecordRequest([]string{"b", "a", "c"})
+	clock = clock.Add(10 * time.Millisecond)
+	l.RecordRequest([]string{"a", "b"})
+	clock = clock.Add(30 * time.Millisecond)
+	l.RecordRequest([]string{"a", "b"})
+
+	rep := l.Report(0)
+	if rep.Requests != 3 || rep.HistorySize != 3 {
+		t.Fatalf("requests/history = %d/%d, want 3/3", rep.Requests, rep.HistorySize)
+	}
+	if len(rep.Pairs) != 3 {
+		t.Fatalf("pairs = %v, want 3 distinct", rep.Pairs)
+	}
+	if rep.Pairs[0].Keys != [2]string{"a", "b"} || rep.Pairs[0].Count != 3 {
+		t.Fatalf("top pair = %+v, want a,b ×3", rep.Pairs[0])
+	}
+	var a *EntryCost
+	for i := range rep.Top {
+		if rep.Top[i].Key == "a" {
+			a = &rep.Top[i]
+		}
+	}
+	if a == nil {
+		t.Fatal("key a missing from report")
+	}
+	// Mean inter-arrival of a: (10ms + 30ms) / 2 = 20ms.
+	if a.MeanInterarrivalMillis != 20 {
+		t.Fatalf("mean inter-arrival = %v ms, want 20", a.MeanInterarrivalMillis)
+	}
+}
+
+// TestLedgerBounds pins the two caps: the history ring holds the newest
+// HistorySize windows, and pair increments beyond PairCap for unseen
+// pairs land in DroppedPairs instead of the map.
+func TestLedgerBounds(t *testing.T) {
+	l := NewLedger(Options{HistorySize: 4, PairCap: 2})
+	for i := 0; i < 10; i++ {
+		l.RecordRequest([]string{fmt.Sprintf("k%02d", i), fmt.Sprintf("k%02d", i+100)})
+	}
+	rep := l.Report(0)
+	if rep.Requests != 10 || rep.HistorySize != 4 {
+		t.Fatalf("requests/history = %d/%d, want 10/4", rep.Requests, rep.HistorySize)
+	}
+	if len(rep.Pairs) != 2 {
+		t.Fatalf("pair map grew past cap: %d pairs", len(rep.Pairs))
+	}
+	if rep.DroppedPairs != 8 {
+		t.Fatalf("dropped pairs = %d, want 8", rep.DroppedPairs)
+	}
+	// Known pairs still count after the cap.
+	l.RecordRequest([]string{"k00", "k100"})
+	if got := l.Report(0).Pairs[0].Count; got != 2 {
+		t.Fatalf("recount of known pair = %d, want 2", got)
+	}
+}
+
+// TestLedgerTopN pins the report truncation.
+func TestLedgerTopN(t *testing.T) {
+	l := NewLedger(Options{})
+	for i := 0; i < 5; i++ {
+		e := entry(fmt.Sprintf("k%d", i), 10*(i+1), 0, false)
+		l.EntryAdded(e)
+		l.EntryHit(e.Key)
+	}
+	rep := l.Report(2)
+	if len(rep.Top) != 2 {
+		t.Fatalf("topN = %d rows, want 2", len(rep.Top))
+	}
+	if rep.Top[0].Key != "k4" || rep.Top[1].Key != "k3" {
+		t.Fatalf("top order = %s,%s, want k4,k3", rep.Top[0].Key, rep.Top[1].Key)
+	}
+	if rep.TrackedKeys != 5 {
+		t.Fatalf("tracked keys = %d, want 5 (truncation must not hide totals)", rep.TrackedKeys)
+	}
+}
+
+// TestLedgerConcurrency hammers every entry point under the race detector
+// and checks the totals settle to the oracle counts.
+func TestLedgerConcurrency(t *testing.T) {
+	l := NewLedger(Options{HistorySize: 8, PairCap: 64})
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("w%d", w)
+			for i := 0; i < perWorker; i++ {
+				l.EntryAdded(entry(key, 1, 1, i%2 == 0))
+				l.EntryHit(key)
+				l.EntryRemoved(key)
+				l.EntryMissed(key)
+				l.RecordRequest([]string{key, "shared"})
+				l.Stats()
+				l.Report(4)
+			}
+		}()
+	}
+	wg.Wait()
+	st := l.Stats()
+	want := int64(workers * perWorker)
+	if st.Trainings != want || st.Hits != want || st.Evictions != want {
+		t.Fatalf("trainings/hits/evictions = %d/%d/%d, want %d each", st.Trainings, st.Hits, st.Evictions, want)
+	}
+	// Every miss follows an eviction of a costed row, so every cycle
+	// charges regret exactly once.
+	if st.RegretEvents != want {
+		t.Fatalf("regret events = %d, want %d", st.RegretEvents, want)
+	}
+	if st.Requests != want {
+		t.Fatalf("requests = %d, want %d", st.Requests, want)
+	}
+}

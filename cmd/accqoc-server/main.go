@@ -19,6 +19,8 @@
 //	accqoc-server -async-jobs=false       # refuse ?async=1 submissions
 //	accqoc-server -log-format json        # structured JSON logs for pipelines
 //	accqoc-server -observability=false    # no /metrics, /debug/requests, or hooks
+//	accqoc-server -capacity 4096 -cache-policy cost  # evict by training cost, not recency
+//	accqoc-server -prefetch               # speculative re-training during idle cycles
 //
 // Observability is on by default: Prometheus text exposition at
 // GET /metrics, the request flight recorder (per-stage compile traces) at
@@ -102,6 +104,12 @@ func main() {
 	usageAcct := flag.Bool("usage", true,
 		"account per-entry training cost, request co-occurrence, and eviction regret per device (GET /v1/library/usage, /debug/costs, accqoc_usage_* metrics); false disables the ledgers")
 	usageHistory := flag.Int("usage-history", 256, "request-history ring size per device for the co-occurrence miner")
+	cachePolicy := flag.String("cache-policy", "lru",
+		"library eviction policy: lru (historical behavior) | cost (evict the lowest iterations*hits score from the usage ledger; requires -usage)")
+	prefetch := flag.Bool("prefetch", false,
+		"speculatively re-train predicted-miss keys during idle cycles, strictly below request traffic (requires -usage; works best with -seed-index)")
+	prefetchEvery := flag.Duration("prefetch-interval", 50*time.Millisecond, "prefetcher idle-cycle period")
+	prefetchDepth := flag.Int("prefetch-depth", 4, "ranked predictions examined per device per prefetch cycle")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat, *logLevel)
@@ -113,6 +121,18 @@ func main() {
 	fatal := func(msg string, args ...any) {
 		logger.Error(msg, args...)
 		os.Exit(1)
+	}
+
+	switch *cachePolicy {
+	case devreg.PolicyLRU, devreg.PolicyCostAware:
+	default:
+		fatal("unknown -cache-policy (want lru or cost)", "policy", *cachePolicy)
+	}
+	if *cachePolicy == devreg.PolicyCostAware && !*usageAcct {
+		fatal("-cache-policy cost requires -usage (the ledger is the cost signal)")
+	}
+	if *prefetch && !*usageAcct {
+		fatal("-prefetch requires -usage (predictions are mined from the request history)")
 	}
 
 	var policy grouping.Policy
@@ -223,6 +243,10 @@ func main() {
 		DisableObservability: !*observability,
 		DisableUsage:         !*usageAcct,
 		UsageHistorySize:     *usageHistory,
+		CachePolicy:          *cachePolicy,
+		EnablePrefetch:       *prefetch,
+		PrefetchInterval:     *prefetchEvery,
+		PrefetchDepth:        *prefetchDepth,
 		Logger:               logger,
 	})
 

@@ -102,7 +102,8 @@ func (c Config) withDefaults() Config {
 }
 
 // task is one unit of worker-pool work: a synchronous compile request, a
-// flushed async batch, or one recompilation item of a calibration roll.
+// flushed async batch, one recompilation item of a calibration roll, or
+// one speculative-training item of the prefetcher.
 type task struct {
 	// req is set for synchronous tasks.
 	req *Request
@@ -111,8 +112,10 @@ type task struct {
 	// recomp/roll are set for cross-epoch recompilation items.
 	recomp *devreg.RecompItem
 	roll   *devreg.Roll
-	// done answers synchronous and recomp tasks; nil for batches (their
-	// asyncTasks carry per-job callbacks).
+	// prefetch is set for speculative-training items (see prefetch.go).
+	prefetch *prefetchItem
+	// done answers synchronous, recomp, and prefetch tasks; nil for
+	// batches (their asyncTasks carry per-job callbacks).
 	done chan taskResult
 }
 
@@ -183,6 +186,9 @@ func (p *Pool) worker() {
 		switch {
 		case t.recomp != nil:
 			p.recompileOne(t.roll, t.recomp)
+			t.done <- taskResult{}
+		case t.prefetch != nil:
+			p.prefetchOne(t.prefetch)
 			t.done <- taskResult{}
 		case t.batch != nil:
 			p.runBatch(t.batch)

@@ -93,7 +93,26 @@ type Config struct {
 	DisableUsage bool
 	// Usage tunes the per-device ledgers (history-ring size, pair cap).
 	Usage usage.Options
+	// CachePolicy selects every namespace store's eviction victim policy:
+	// PolicyLRU (or empty — the default, byte-identical to the historical
+	// behavior) or PolicyCostAware, which evicts the lowest
+	// iterations×hits score as measured by the device's usage ledger and
+	// therefore requires usage accounting.
+	CachePolicy string
+	// EnablePrefetch retains per-device training targets (TargetCache)
+	// past eviction so the speculative-training driver can re-train
+	// predicted misses. Without a seed index targets are never learned and
+	// prefetch has nothing to train from.
+	EnablePrefetch bool
+	// PrefetchTargetCap bounds each device's target cache. Default 1024.
+	PrefetchTargetCap int
 }
+
+// Cache policy names accepted by Config.CachePolicy.
+const (
+	PolicyLRU       = "lru"
+	PolicyCostAware = "cost"
+)
 
 // Namespace is one (device, epoch) serving context. Fields are immutable
 // after construction; Store and Seeds are internally synchronized.
@@ -118,6 +137,10 @@ type Namespace struct {
 	// resolved request's key set here; store mutations and lookups feed it
 	// through the store hook.
 	Usage *usage.Ledger
+	// Targets is the owning device's retained-training-target cache (the
+	// prefetcher's work source), nil unless prefetch is enabled. Shared
+	// across the device's epochs like the ledger.
+	Targets *TargetCache
 
 	dev      *deviceState
 	refs     atomic.Int64
@@ -221,6 +244,14 @@ type deviceState struct {
 	// accumulated cost history stays (keys are content addresses shared
 	// across epochs).
 	usage *usage.Ledger
+	// policy is the device's cost-aware eviction policy (nil under pure
+	// LRU); like the ledger it scores, it is epoch-stable and installed on
+	// every epoch's store.
+	policy *libstore.CostAwarePolicy
+	// targets retains training targets past eviction for the prefetcher,
+	// nil when prefetch is off. Epoch-stable: unitaries are
+	// calibration-independent.
+	targets *TargetCache
 }
 
 func (d *deviceState) maybeRetire(ns *Namespace) {
@@ -298,6 +329,19 @@ func (r *Registry) register(p Profile, store *libstore.Store) error {
 	if !r.cfg.DisableUsage {
 		d.usage = usage.NewLedger(r.cfg.Usage)
 	}
+	switch r.cfg.CachePolicy {
+	case "", PolicyLRU:
+	case PolicyCostAware:
+		if d.usage == nil {
+			return fmt.Errorf("devreg: cache policy %q requires usage accounting", PolicyCostAware)
+		}
+		d.policy = libstore.CostAware(d.usage)
+	default:
+		return fmt.Errorf("devreg: unknown cache policy %q (want %q or %q)", r.cfg.CachePolicy, PolicyLRU, PolicyCostAware)
+	}
+	if r.cfg.EnablePrefetch {
+		d.targets = NewTargetCache(r.cfg.PrefetchTargetCap)
+	}
 	d.current = r.newNamespace(d, p, 0, nil, store)
 	r.devices[p.Name] = d
 	r.order = append(r.order, p.Name)
@@ -342,7 +386,11 @@ func (r *Registry) newNamespace(d *deviceState, p Profile, epoch int, parent *se
 		Store:      store,
 		CreatedAt:  time.Now(),
 		Usage:      d.usage,
+		Targets:    d.targets,
 		dev:        d,
+	}
+	if d.policy != nil {
+		store.SetEvictionPolicy(d.policy)
 	}
 	var seeds *seedindex.Index
 	if !r.cfg.DisableSeedIndex {
@@ -363,6 +411,11 @@ func (r *Registry) newNamespace(d *deviceState, p Profile, epoch int, parent *se
 	}
 	if d.usage != nil {
 		hooks = append(hooks, d.usage)
+	}
+	if d.targets != nil && seeds != nil {
+		// After the seed index on purpose: the recorder reads the unitary
+		// the index just cached for the same EntryAdded.
+		hooks = append(hooks, &targetRecorder{seeds: seeds, targets: d.targets})
 	}
 	if hook := libstore.TeeHooks(hooks...); hook != nil {
 		store.SetHook(hook)
@@ -413,6 +466,22 @@ func (r *Registry) UsageLedger(name string) (*usage.Ledger, error) {
 		return nil, fmt.Errorf("devreg: unknown device %q", name)
 	}
 	return d.usage, nil
+}
+
+// EvictionPolicy resolves a device name ("" = default) to its cost-aware
+// eviction policy, nil when the registry runs pure LRU. Like the ledger it
+// scores with, the policy is per-device and epoch-stable.
+func (r *Registry) EvictionPolicy(name string) (*libstore.CostAwarePolicy, error) {
+	r.mu.RLock()
+	if name == "" {
+		name = r.def
+	}
+	d, ok := r.devices[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("devreg: unknown device %q", name)
+	}
+	return d.policy, nil
 }
 
 // Names returns the registered device names in registration order.

@@ -171,6 +171,7 @@ type Store struct {
 	seed   maphash.Seed
 	shards []*shard
 	hook   atomic.Pointer[hookCell]
+	policy atomic.Pointer[policyCell]
 
 	hits, misses, evictions, inserts atomic.Int64
 	trainings, dedup, trainFailures  atomic.Int64
@@ -340,17 +341,42 @@ func (s *Store) putLocked(sh *shard, e *precompile.Entry) {
 	s.hookAdded(e)
 	if sh.cap > 0 {
 		for sh.lru.Len() > sh.cap {
-			oldest := sh.lru.Back()
-			if oldest == nil {
+			victim := s.victimLocked(sh)
+			if victim == nil {
 				break
 			}
-			sh.lru.Remove(oldest)
-			key := oldest.Value.(*node).key
+			sh.lru.Remove(victim)
+			key := victim.Value.(*node).key
 			delete(sh.items, key)
 			s.evictions.Add(1)
 			s.hookRemoved(key)
 		}
 	}
+}
+
+// victimLocked picks the entry to evict from an over-cap shard: the LRU
+// tail when no eviction policy is installed (the historical behavior,
+// byte-for-byte), otherwise whatever the policy selects from the shard's
+// resident keys. The just-inserted entry is a candidate too — a policy may
+// decide the newcomer is the least worth keeping.
+func (s *Store) victimLocked(sh *shard) *list.Element {
+	oldest := sh.lru.Back()
+	if oldest == nil {
+		return nil
+	}
+	c := s.policy.Load()
+	if c == nil || c.p == nil {
+		return oldest
+	}
+	keys := make([]string, 0, sh.lru.Len())
+	for el := oldest; el != nil; el = el.Prev() {
+		keys = append(keys, el.Value.(*node).key)
+	}
+	idx := c.p.Victim(keys)
+	if idx <= 0 || idx >= len(keys) {
+		return oldest
+	}
+	return sh.items[keys[idx]]
 }
 
 // AddLibrary merges every entry of a plain library into the store.

@@ -124,6 +124,25 @@ type Config struct {
 	// UsageHistorySize bounds the per-device request-history ring the
 	// co-occurrence miner reads. Default 256.
 	UsageHistorySize int
+	// CachePolicy selects the library eviction policy for every
+	// namespace store: "lru" (or empty — the default, byte-identical to
+	// the historical behavior) or "cost", which evicts the lowest
+	// iterations×hits score as measured by the device's usage ledger.
+	// "cost" requires usage accounting (DisableUsage must be false).
+	CachePolicy string
+	// EnablePrefetch starts the idle-cycle speculative-training driver:
+	// when the compile queue is empty and a worker is free, the top
+	// predicted-miss keys (mined from the usage ledger's request history)
+	// are re-trained through the ordinary store singleflight at strictly
+	// lower priority than request traffic. Requires usage accounting; does
+	// nothing useful without the seed index (training targets are learned
+	// from it).
+	EnablePrefetch bool
+	// PrefetchInterval is the prefetcher's idle-cycle period. Default 50ms.
+	PrefetchInterval time.Duration
+	// PrefetchDepth is how many ranked predictions the prefetcher examines
+	// per device per cycle. Default 4.
+	PrefetchDepth int
 	// Logger receives the server's structured events (boot-snapshot load,
 	// calibration epochs, request failures), each stamped with the
 	// request ID when one is in scope. Default slog.Default().
@@ -180,7 +199,10 @@ type StatsResponse struct {
 	Library libstore.Stats `json:"library"`
 	// SeedIndex reports the warm-start index; nil when disabled.
 	SeedIndex *seedindex.Stats `json:"seed_index,omitempty"`
-	Server    ServerStats      `json:"server"`
+	// EvictPolicy reports the default device's cost-aware eviction policy
+	// counters; absent under the default LRU policy.
+	EvictPolicy *libstore.PolicyStats `json:"evict_policy,omitempty"`
+	Server      ServerStats           `json:"server"`
 }
 
 // ServerStats carries request-level counters plus the training tier's
@@ -207,6 +229,9 @@ type ServerStats struct {
 	// Jobs censuses the async job store by state; absent when the async
 	// job API is disabled.
 	Jobs *jobs.Counts `json:"jobs,omitempty"`
+	// Prefetch aggregates the speculative-training driver's counters
+	// across devices; absent unless prefetch is enabled.
+	Prefetch *compilesvc.PrefetchStats `json:"prefetch,omitempty"`
 }
 
 // Server is the HTTP routing tier.
@@ -220,6 +245,9 @@ type Server struct {
 	// svc is the training tier: the only way this package reaches the
 	// compile pipeline.
 	svc compilesvc.CompileService
+	// prefetcher is the idle-cycle speculative-training driver; nil unless
+	// Config.EnablePrefetch.
+	prefetcher *compilesvc.Prefetcher
 	// jobStore backs the async job API; nil under DisableAsyncJobs.
 	jobStore *jobs.Store
 
@@ -262,6 +290,8 @@ func New(cfg Config) *Server {
 		DisableSeedIndex: cfg.DisableSeedIndex,
 		DisableUsage:     cfg.DisableUsage,
 		Usage:            usage.Options{HistorySize: cfg.UsageHistorySize},
+		CachePolicy:      cfg.CachePolicy,
+		EnablePrefetch:   cfg.EnablePrefetch,
 	}
 	if !cfg.DisableObservability {
 		ob = newObsState(cfg.FlightRecorderSize)
@@ -275,22 +305,31 @@ func New(cfg Config) *Server {
 		Ham:    cfg.Compile.Precompile.Ham,
 	}, cfg.Store)
 	if err != nil {
-		// Only reachable through an impossible default profile; surface
-		// loudly rather than serving a half-built registry.
+		// Reachable through an impossible default profile or an invalid
+		// policy combination (e.g. CachePolicy "cost" with usage disabled —
+		// the command validates its flags first); surface loudly rather
+		// than serving a half-built registry.
 		panic(err)
 	}
+	pool := compilesvc.New(compilesvc.Config{
+		Workers:     cfg.Workers,
+		QueueDepth:  cfg.QueueDepth,
+		BatchWindow: cfg.AsyncBatchWindow,
+	})
 	s := &Server{
 		cfg:      cfg,
 		registry: reg,
 		mux:      http.NewServeMux(),
-		svc: compilesvc.New(compilesvc.Config{
-			Workers:     cfg.Workers,
-			QueueDepth:  cfg.QueueDepth,
-			BatchWindow: cfg.AsyncBatchWindow,
-		}),
-		start:  time.Now(),
-		obs:    ob,
-		logger: cfg.Logger,
+		svc:      pool,
+		start:    time.Now(),
+		obs:      ob,
+		logger:   cfg.Logger,
+	}
+	if cfg.EnablePrefetch {
+		s.prefetcher = compilesvc.NewPrefetcher(pool, reg, compilesvc.PrefetchOptions{
+			Interval: cfg.PrefetchInterval,
+			Depth:    cfg.PrefetchDepth,
+		})
 	}
 	if !cfg.DisableAsyncJobs {
 		s.jobStore = jobs.NewStore(cfg.JobCap, cfg.JobTTL)
@@ -320,6 +359,7 @@ func New(cfg Config) *Server {
 		if !cfg.DisableUsage {
 			s.registerUsageCollectors()
 		}
+		s.registerPolicyCollectors()
 		s.mux.Handle("GET /metrics", ob.reg.Handler())
 		s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	}
@@ -332,6 +372,10 @@ func (s *Server) Registry() *devreg.Registry { return s.registry }
 
 // Service exposes the training tier (tests, future admin surfaces).
 func (s *Server) Service() compilesvc.CompileService { return s.svc }
+
+// Prefetcher exposes the speculative-training driver (tests and replay
+// benchmarks drive its cycle deterministically); nil unless enabled.
+func (s *Server) Prefetcher() *compilesvc.Prefetcher { return s.prefetcher }
 
 // Store exposes the default device's current-epoch pulse store.
 func (s *Server) Store() *libstore.Store { return s.defaultNS().Store }
@@ -356,6 +400,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // there should be none — is marked failed rather than stranded.
 func (s *Server) Close() {
 	s.closed.Store(true)
+	// The prefetcher goes first: its loop feeds the pool, and a
+	// speculation enqueued after the pool's sweep would hang the driver.
+	if s.prefetcher != nil {
+		s.prefetcher.Close()
+	}
 	s.svc.Close()
 	// Roll drivers observe ErrClosed (or their answered item) and exit;
 	// the boot loader finishes on its own.
@@ -497,6 +546,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if ns.Seeds != nil {
 		st := ns.Seeds.Stats()
 		out.SeedIndex = &st
+	}
+	if pol, _ := s.registry.EvictionPolicy(""); pol != nil {
+		st := pol.Stats()
+		out.EvictPolicy = &st
+	}
+	if s.prefetcher != nil {
+		st := s.prefetcher.Stats()
+		out.Server.Prefetch = &st
 	}
 	writeJSON(w, http.StatusOK, out)
 }

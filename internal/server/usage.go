@@ -14,6 +14,9 @@ import (
 	"net/http"
 	"strconv"
 
+	"accqoc/internal/compilesvc"
+	"accqoc/internal/devreg"
+	"accqoc/internal/libstore"
 	"accqoc/internal/obs"
 	"accqoc/internal/usage"
 )
@@ -31,6 +34,26 @@ const (
 type UsageResponse struct {
 	Device string `json:"device"`
 	usage.Report
+	// EvictPolicy reports the device's cost-aware eviction policy
+	// counters; absent under the default LRU policy.
+	EvictPolicy *libstore.PolicyStats `json:"evict_policy,omitempty"`
+	// Prefetch reports the device's speculative-training counters; absent
+	// unless prefetch is enabled.
+	Prefetch *compilesvc.PrefetchStats `json:"prefetch,omitempty"`
+}
+
+// fillPolicy attaches the policy-half blocks (eviction counters,
+// prefetch counters) for a device; both stay nil — and off the wire —
+// under default flags.
+func (s *Server) fillPolicy(resp *UsageResponse, device string) {
+	if pol, _ := s.registry.EvictionPolicy(device); pol != nil {
+		st := pol.Stats()
+		resp.EvictPolicy = &st
+	}
+	if s.prefetcher != nil {
+		st := s.prefetcher.StatsFor(resp.Device)
+		resp.Prefetch = &st
+	}
 }
 
 func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
@@ -55,7 +78,9 @@ func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
 	if device == "" {
 		device = s.registry.DefaultName()
 	}
-	writeJSON(w, http.StatusOK, UsageResponse{Device: device, Report: ledger.Report(n)})
+	resp := UsageResponse{Device: device, Report: ledger.Report(n)}
+	s.fillPolicy(&resp, device)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // DebugCostsResponse is the GET /debug/costs body: every device's full
@@ -71,7 +96,9 @@ func (s *Server) handleDebugCosts(w http.ResponseWriter, r *http.Request) {
 		if err != nil || ledger == nil {
 			continue
 		}
-		out.Devices = append(out.Devices, UsageResponse{Device: name, Report: ledger.Report(usageMaxTopN)})
+		resp := UsageResponse{Device: name, Report: ledger.Report(usageMaxTopN)}
+		s.fillPolicy(&resp, name)
+		out.Devices = append(out.Devices, resp)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -126,6 +153,66 @@ func (s *Server) registerUsageCollectors() {
 		func(st usage.Stats) float64 { return st.RegretWallSecs })
 	gauge("accqoc_usage_cooccurrence_pairs", "Distinct co-occurring key pairs tracked by the request-history miner, by device.",
 		func(st usage.Stats) float64 { return float64(st.Pairs) })
-	counter("accqoc_usage_cooccurrence_dropped_total", "Pair observations dropped at the pair-map cap (nonzero = pair counts undercount), by device.",
+	counter("accqoc_usage_cooccurrence_dropped_total", "Coldest pairs displaced at the pair-map cap (nonzero = pair counts are approximate), by device.",
 		func(st usage.Stats) float64 { return float64(st.DroppedPairs) })
+}
+
+// registerPolicyCollectors installs the accqoc_evict_policy_* and
+// accqoc_prefetch_* scrape-time families. Each family is registered only
+// when its feature is on, so a default-flag /metrics exposition is
+// byte-identical to the pre-policy server.
+func (s *Server) registerPolicyCollectors() {
+	r := s.obs.reg
+	dev := []string{"device"}
+	if s.cfg.CachePolicy == devreg.PolicyCostAware {
+		perPolicy := func(emit func(obs.Emit, string, libstore.PolicyStats)) func(obs.Emit) {
+			return func(e obs.Emit) {
+				for _, name := range s.registry.Names() {
+					pol, err := s.registry.EvictionPolicy(name)
+					if err != nil || pol == nil {
+						continue
+					}
+					emit(e, name, pol.Stats())
+				}
+			}
+		}
+		r.CollectCounters("accqoc_evict_policy_cost_picks_total", "Evictions where the cost-aware policy moved the victim off the LRU tail, by device.",
+			dev, perPolicy(func(e obs.Emit, d string, st libstore.PolicyStats) {
+				e(float64(st.CostPicks), d)
+			}))
+		r.CollectCounters("accqoc_evict_policy_lru_fallbacks_total", "Evictions where scores tied (or were zero) and the policy fell back to LRU order, by device.",
+			dev, perPolicy(func(e obs.Emit, d string, st libstore.PolicyStats) {
+				e(float64(st.LRUFallbacks), d)
+			}))
+	}
+	if s.prefetcher != nil {
+		perPrefetch := func(emit func(obs.Emit, string, compilesvc.PrefetchStats)) func(obs.Emit) {
+			return func(e obs.Emit) {
+				for _, name := range s.registry.Names() {
+					emit(e, name, s.prefetcher.StatsFor(name))
+				}
+			}
+		}
+		pcounter := func(name, help string, get func(compilesvc.PrefetchStats) float64) {
+			r.CollectCounters(name, help, dev, perPrefetch(func(e obs.Emit, d string, st compilesvc.PrefetchStats) {
+				e(get(st), d)
+			}))
+		}
+		pcounter("accqoc_prefetch_predicted_total", "Ranked predictions examined by the speculative-training driver, by device.",
+			func(st compilesvc.PrefetchStats) float64 { return float64(st.Predicted) })
+		pcounter("accqoc_prefetch_no_target_total", "Predicted misses skipped for lack of a retained training target, by device.",
+			func(st compilesvc.PrefetchStats) float64 { return float64(st.NoTarget) })
+		pcounter("accqoc_prefetch_trained_total", "Speculative trainings completed during idle cycles, by device.",
+			func(st compilesvc.PrefetchStats) float64 { return float64(st.Trained) })
+		pcounter("accqoc_prefetch_seeded_total", "Speculative trainings that warm-started from the seed index, by device.",
+			func(st compilesvc.PrefetchStats) float64 { return float64(st.Seeded) })
+		pcounter("accqoc_prefetch_iterations_total", "GRAPE iterations spent on speculative trainings, by device.",
+			func(st compilesvc.PrefetchStats) float64 { return float64(st.Iterations) })
+		pcounter("accqoc_prefetch_skipped_total", "Speculative items already covered by execution time, by device.",
+			func(st compilesvc.PrefetchStats) float64 { return float64(st.Skipped) })
+		pcounter("accqoc_prefetch_abandoned_total", "Speculative items yielded to request traffic, by device.",
+			func(st compilesvc.PrefetchStats) float64 { return float64(st.Abandoned) })
+		pcounter("accqoc_prefetch_failed_total", "Speculative trainings that did not converge, by device.",
+			func(st compilesvc.PrefetchStats) float64 { return float64(st.Failed) })
+	}
 }

@@ -1,0 +1,96 @@
+package usage
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPredictorRanksCoOccurringKeys pins the core mining: partners of the
+// window's keys are ranked by recency-decayed ring co-occurrence plus the
+// pair-table prior; keys in the window and never-co-occurring keys are
+// excluded.
+func TestPredictorRanksCoOccurringKeys(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	l := NewLedger(Options{now: func() time.Time { return clock }})
+	tick := func() { clock = clock.Add(10 * time.Millisecond) }
+
+	l.RecordRequest([]string{"a", "b"})
+	tick()
+	l.RecordRequest([]string{"a", "c"})
+	tick()
+	l.RecordRequest([]string{"d"}) // no overlap with the probe window
+	tick()
+
+	preds := l.Predictor().Predict([]string{"a"}, 0)
+	if len(preds) != 2 {
+		t.Fatalf("predictions = %+v, want exactly b and c", preds)
+	}
+	// c co-occurred more recently than b, so it ranks first; d never
+	// shared a window with a and must be absent; a itself is never
+	// predicted.
+	if preds[0].Key != "c" || preds[1].Key != "b" {
+		t.Fatalf("order = %s,%s, want c,b", preds[0].Key, preds[1].Key)
+	}
+	if preds[0].Score <= preds[1].Score {
+		t.Fatalf("scores not strictly ordered: %+v", preds)
+	}
+
+	if got := l.Predictor().Predict(nil, 0); got != nil {
+		t.Fatalf("empty window predicted %+v, want nil", got)
+	}
+	if got := l.Predictor().Predict([]string{"zzz"}, 0); len(got) != 0 {
+		t.Fatalf("unknown window predicted %+v, want none", got)
+	}
+}
+
+// TestPredictorDueness pins the inter-arrival boost: with symmetric
+// co-occurrence, the key whose time-since-last-arrival has reached its
+// mean gap outranks the key that was just served, even though the latter
+// co-occurred more recently.
+func TestPredictorDueness(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	l := NewLedger(Options{now: func() time.Time { return clock }})
+	windows := [][]string{{"a", "b"}, {"a", "c"}, {"a", "b"}, {"a", "c"}}
+	for _, w := range windows {
+		l.RecordRequest(w)
+		clock = clock.Add(10 * time.Millisecond)
+	}
+	// now = t+40ms: b last arrived at t+20 (elapsed = its 20ms mean, due
+	// factor 2); c last arrived at t+30 (half due, factor 1.5).
+	preds := l.Predictor().Predict([]string{"a"}, 0)
+	if len(preds) != 2 || preds[0].Key != "b" {
+		t.Fatalf("predictions = %+v, want due key b first", preds)
+	}
+}
+
+// TestPredictorTopNAndRingWrap pins truncation and that mining reads the
+// wrapped ring in true newest-first order.
+func TestPredictorTopNAndRingWrap(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	l := NewLedger(Options{HistorySize: 2, now: func() time.Time { return clock }})
+	l.RecordRequest([]string{"a", "old"}) // falls off the size-2 ring
+	clock = clock.Add(10 * time.Millisecond)
+	l.RecordRequest([]string{"a", "mid"})
+	clock = clock.Add(10 * time.Millisecond)
+	l.RecordRequest([]string{"a", "new"})
+
+	if w := l.LastWindow(); len(w) != 2 || w[0] != "a" || w[1] != "new" {
+		t.Fatalf("last window = %v, want [a new]", w)
+	}
+	preds := l.Predictor().Predict([]string{"a"}, 1)
+	if len(preds) != 1 {
+		t.Fatalf("topN ignored: %+v", preds)
+	}
+	// "old" survives only in the pair table (its ring window was
+	// overwritten), so ring recency must rank "new" first.
+	if preds[0].Key != "new" {
+		t.Fatalf("top prediction = %s, want new", preds[0].Key)
+	}
+}
+
+// TestLastWindowEmpty pins the no-history case.
+func TestLastWindowEmpty(t *testing.T) {
+	if w := NewLedger(Options{}).LastWindow(); w != nil {
+		t.Fatalf("last window of empty ledger = %v, want nil", w)
+	}
+}

@@ -35,9 +35,9 @@ import (
 type Options struct {
 	// HistorySize bounds the request-history ring. Default 256.
 	HistorySize int
-	// PairCap bounds the co-occurrence pair map; pair increments beyond it
-	// for unseen pairs are counted in DroppedPairs rather than silently
-	// lost. Default 4096.
+	// PairCap bounds the co-occurrence pair map. At capacity an unseen
+	// pair displaces the lowest-count pair (space-saving admission);
+	// DroppedPairs counts those displacements. Default 4096.
 	PairCap int
 	// now overrides the clock (tests).
 	now func() time.Time
@@ -84,10 +84,13 @@ type row struct {
 	// hook-then-backfill pattern can add one entry twice).
 	lastEntry *precompile.Entry
 	// arrivals/lastArrivalNs/sumInterNs are the inter-arrival statistics
-	// fed by RecordRequest.
+	// fed by RecordRequest. interSamples counts the gaps actually summed
+	// into sumInterNs: same-timestamp arrivals contribute no gap, so the
+	// mean divides by interSamples, not arrivals-1.
 	arrivals      int64
 	lastArrivalNs int64
 	sumInterNs    float64
+	interSamples  int64
 }
 
 // request is one history-ring element.
@@ -186,13 +189,13 @@ func (l *Ledger) EntryRemoved(key string) {
 	l.evictions++
 }
 
-// EntryHit implements libstore.AccessHook.
+// EntryHit implements libstore.AccessHook. The row is created if absent
+// (hook registered without backfill) so hit counts survive registration
+// order, matching EntryAdded/RecordRequest behavior.
 func (l *Ledger) EntryHit(key string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if r, ok := l.rows[key]; ok {
-		r.hits++
-	}
+	l.rowFor(key).hits++
 }
 
 // EntryMissed implements libstore.AccessHook: the first miss on an
@@ -253,6 +256,7 @@ func (l *Ledger) RecordRequest(keys []string) {
 		r.arrivals++
 		if r.lastArrivalNs > 0 && now > r.lastArrivalNs {
 			r.sumInterNs += float64(now - r.lastArrivalNs)
+			r.interSamples++
 		}
 		r.lastArrivalNs = now
 		for j := i + 1; j < len(kc); j++ {
@@ -261,12 +265,34 @@ func (l *Ledger) RecordRequest(keys []string) {
 			}
 			pk := kc[i] + "\x00" + kc[j]
 			if _, ok := l.pairs[pk]; !ok && len(l.pairs) >= l.opts.PairCap {
+				// Space-saving admission: displace the lowest-count pair
+				// instead of refusing forever, and give the newcomer that
+				// count plus one (the classic overestimate) so a genuinely
+				// hot new pair climbs instead of being instantly re-evicted.
+				// DroppedPairs keeps counting the overflow churn.
+				l.pairs[pk] = l.evictColdestPairLocked() + 1
 				l.droppedPairs++
 				continue
 			}
 			l.pairs[pk]++
 		}
 	}
+}
+
+// evictColdestPairLocked removes the lowest-count pair (ties: lexically
+// smallest key, for determinism) and returns its count. Callers hold l.mu
+// and guarantee the map is non-empty.
+func (l *Ledger) evictColdestPairLocked() int64 {
+	var minKey string
+	var minCount int64
+	first := true
+	for pk, n := range l.pairs {
+		if first || n < minCount || (n == minCount && pk < minKey) {
+			minKey, minCount, first = pk, n, false
+		}
+	}
+	delete(l.pairs, minKey)
+	return minCount
 }
 
 // Totals are the ledger-wide accumulated sums.
@@ -329,8 +355,9 @@ type Report struct {
 	// (ties: iterations descending, then key).
 	Top []EntryCost `json:"top"`
 	// Pairs lists the most frequent co-occurring key pairs, count
-	// descending (ties by key); DroppedPairs counts increments lost to
-	// the pair-map cap — nonzero means Pairs undercounts.
+	// descending (ties by key); DroppedPairs counts space-saving
+	// displacements at the pair-map cap — nonzero means cold pairs have
+	// been churned out and surviving counts are upper bounds.
 	Pairs        []PairCount `json:"pairs"`
 	DroppedPairs int64       `json:"dropped_pairs,omitempty"`
 	Regret       Regret      `json:"regret"`
@@ -376,8 +403,8 @@ func (l *Ledger) Report(topN int) Report {
 			MissesEvicted:   r.missesAfterEviction,
 			Score:           float64(r.iterations) * float64(r.hits),
 		}
-		if r.arrivals > 1 {
-			ec.MeanInterarrivalMillis = r.sumInterNs / float64(r.arrivals-1) / 1e6
+		if r.interSamples > 0 {
+			ec.MeanInterarrivalMillis = r.sumInterNs / float64(r.interSamples) / 1e6
 		}
 		rep.Top = append(rep.Top, ec)
 	}
@@ -456,4 +483,38 @@ func (l *Ledger) Stats() Stats {
 		st.Hits += r.hits
 	}
 	return st
+}
+
+// EntryScore implements the cost-aware eviction policy's scorer
+// (libstore.Scorer): the primary score is the accumulated iterations×hits
+// product — the report's ranking signal — and the tiebreak is the raw
+// accumulated iterations, so among never-hit entries an expensive one
+// (667 iterations of 2Q training) outlives a nearly-free 1q one. Unknown
+// keys score (0, 0). Called under a store shard lock; the ledger mutex is
+// a leaf (no ledger method calls back into the store), so this is
+// deadlock-free by construction.
+func (l *Ledger) EntryScore(key string) (score, tiebreak float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.rows[key]
+	if !ok {
+		return 0, 0
+	}
+	return float64(r.iterations) * float64(r.hits), float64(r.iterations)
+}
+
+// LastWindow returns a copy of the newest request window's keys (the
+// prefetch driver's prediction context), or nil when nothing has been
+// recorded.
+func (l *Ledger) LastWindow() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ring) == 0 {
+		return nil
+	}
+	newest := len(l.ring) - 1
+	if len(l.ring) == l.opts.HistorySize {
+		newest = (l.ringNext - 1 + l.opts.HistorySize) % l.opts.HistorySize
+	}
+	return append([]string(nil), l.ring[newest].keys...)
 }

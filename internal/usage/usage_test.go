@@ -153,8 +153,9 @@ func TestLedgerCoOccurrence(t *testing.T) {
 }
 
 // TestLedgerBounds pins the two caps: the history ring holds the newest
-// HistorySize windows, and pair increments beyond PairCap for unseen
-// pairs land in DroppedPairs instead of the map.
+// HistorySize windows, and the pair map never grows past PairCap — at
+// capacity an unseen pair displaces the lowest-count one (space-saving),
+// with DroppedPairs counting the displacements.
 func TestLedgerBounds(t *testing.T) {
 	l := NewLedger(Options{HistorySize: 4, PairCap: 2})
 	for i := 0; i < 10; i++ {
@@ -170,10 +171,84 @@ func TestLedgerBounds(t *testing.T) {
 	if rep.DroppedPairs != 8 {
 		t.Fatalf("dropped pairs = %d, want 8", rep.DroppedPairs)
 	}
-	// Known pairs still count after the cap.
+	// A pair displaced long ago can come back: it re-enters with the
+	// evicted minimum plus one (the space-saving overestimate), so the
+	// recorded count is an upper bound, never a silent drop.
 	l.RecordRequest([]string{"k00", "k100"})
-	if got := l.Report(0).Pairs[0].Count; got != 2 {
-		t.Fatalf("recount of known pair = %d, want 2", got)
+	rep = l.Report(0)
+	if rep.Pairs[0].Keys != [2]string{"k00", "k100"} {
+		t.Fatalf("re-admitted pair missing: %+v", rep.Pairs)
+	}
+	if len(rep.Pairs) != 2 || rep.DroppedPairs != 9 {
+		t.Fatalf("pairs/dropped after re-admission = %d/%d, want 2/9", len(rep.Pairs), rep.DroppedPairs)
+	}
+}
+
+// TestLedgerPairDisplacement is the starvation regression: before the
+// space-saving fix, once the pair map filled, a brand-new hot pair was
+// dropped forever while stale cold pairs squatted. Now the fresh hot pair
+// must displace the cold one and accumulate.
+func TestLedgerPairDisplacement(t *testing.T) {
+	l := NewLedger(Options{PairCap: 1})
+	l.RecordRequest([]string{"cold1", "cold2"}) // fills the map
+	for i := 0; i < 5; i++ {
+		l.RecordRequest([]string{"hot1", "hot2"})
+	}
+	rep := l.Report(0)
+	if len(rep.Pairs) != 1 {
+		t.Fatalf("pair map size = %d, want 1", len(rep.Pairs))
+	}
+	if rep.Pairs[0].Keys != [2]string{"hot1", "hot2"} {
+		t.Fatalf("hot pair failed to displace cold squatter: %+v", rep.Pairs[0])
+	}
+	// Displaced min was 1, so the hot pair entered at 2 and gained 4 more.
+	if rep.Pairs[0].Count != 6 {
+		t.Fatalf("hot pair count = %d, want 6", rep.Pairs[0].Count)
+	}
+	if rep.DroppedPairs != 1 {
+		t.Fatalf("dropped pairs = %d, want 1 displacement", rep.DroppedPairs)
+	}
+}
+
+// TestLedgerInterarrivalDuplicateTimestamps is the divisor-bias
+// regression: same-timestamp arrivals contribute no gap and must not
+// inflate the mean's divisor. Three arrivals at t, t, t+20ms sample
+// exactly one 20ms gap — the mean is 20ms, not 10ms.
+func TestLedgerInterarrivalDuplicateTimestamps(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	l := NewLedger(Options{now: func() time.Time { return clock }})
+	l.RecordRequest([]string{"a"})
+	l.RecordRequest([]string{"a"}) // duplicate timestamp: no gap sampled
+	clock = clock.Add(20 * time.Millisecond)
+	l.RecordRequest([]string{"a"})
+	rep := l.Report(0)
+	if rep.Top[0].MeanInterarrivalMillis != 20 {
+		t.Fatalf("mean inter-arrival = %v ms, want 20", rep.Top[0].MeanInterarrivalMillis)
+	}
+	// A key with arrivals but no timestamp-distinct gap reports no mean.
+	l2 := NewLedger(Options{now: func() time.Time { return clock }})
+	l2.RecordRequest([]string{"b"})
+	l2.RecordRequest([]string{"b"})
+	if got := l2.Report(0).Top[0].MeanInterarrivalMillis; got != 0 {
+		t.Fatalf("gapless mean inter-arrival = %v ms, want 0", got)
+	}
+}
+
+// TestLedgerHitWithoutRow is the registration-order regression: a hit
+// delivered before any EntryAdded (hook installed without backfill) must
+// create the row rather than vanish, and the later add still adopts
+// snapshot-carried hits exactly once on top.
+func TestLedgerHitWithoutRow(t *testing.T) {
+	l := NewLedger(Options{})
+	l.EntryHit("a")
+	if st := l.Stats(); st.Hits != 1 || st.TrackedKeys != 1 {
+		t.Fatalf("hits/tracked after early hit = %d/%d, want 1/1", st.Hits, st.TrackedKeys)
+	}
+	e := entry("a", 10, 0, false)
+	e.Hits = 2
+	l.EntryAdded(e)
+	if st := l.Stats(); st.Hits != 3 {
+		t.Fatalf("hits after add with carried count = %d, want 3", st.Hits)
 	}
 }
 
